@@ -1,0 +1,32 @@
+//! Ablation: Gram-trick thin SVD vs one-sided Jacobi on TP-matrix shapes
+//! (DESIGN.md §5 item 2).
+
+use cloudconst_linalg::{svd_jacobi, svd_thin, Mat};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn wide(rows: usize, cols: usize) -> Mat {
+    let data: Vec<f64> = (0..rows * cols)
+        .map(|k| 1.0 + ((k * 2654435761) % 1000) as f64 * 1e-3)
+        .collect();
+    Mat::from_vec(rows, cols, data)
+}
+
+fn bench_svd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("svd_ablation");
+    g.sample_size(10);
+    for &cols in &[256usize, 1024, 4096] {
+        let a = wide(10, cols);
+        g.bench_with_input(BenchmarkId::new("gram_trick", cols), &a, |b, a| {
+            b.iter(|| svd_thin(a).expect("svd"))
+        });
+        if cols <= 1024 {
+            g.bench_with_input(BenchmarkId::new("one_sided_jacobi", cols), &a, |b, a| {
+                b.iter(|| svd_jacobi(a).expect("svd"))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_svd);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Simulator event-processing throughput: background flows simulated per
+//! wall second on the paper's 1024-host tree.
+
+use cloudconst_simnet::{BackgroundSpec, Simulator, Topology};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simnet");
+    g.sample_size(10);
+    g.bench_function("background_60s_paper_tree", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(Topology::paper_tree(), 1);
+            BackgroundSpec {
+                pairs: 100,
+                message_bytes: 10 << 20,
+                lambda: 2.0,
+                churn: 0.2,
+                seed: 5,
+            }
+            .install(&mut sim, 0.0);
+            sim.run_until(60.0);
+            sim.flows_completed()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Deterministic hash-derived randomness.
+//!
+//! The synthetic cloud needs random-looking values that are a pure function
+//! of `(seed, link, time, stream)`: probing must be reproducible and
+//! independent of call order, because on a real cloud the network does not
+//! care who measures it. A stateful RNG cannot give that; a mixing hash
+//! can. SplitMix64 is used as the mixer — tiny, fast, and passes BigCrush
+//! as a generator.
+
+/// SplitMix64 finalizer: avalanche-mixes a 64-bit value.
+#[inline]
+pub fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Combine several words into one hash.
+pub fn mix_all(words: &[u64]) -> u64 {
+    let mut h = 0x243F6A8885A308D3u64; // pi digits; arbitrary non-zero
+    for &w in words {
+        h = mix(h ^ w);
+    }
+    h
+}
+
+/// Uniform `f64` in `[0, 1)` from a hash.
+#[inline]
+pub fn unit(h: u64) -> f64 {
+    // 53 high-quality bits into the mantissa.
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform in `[lo, hi)` derived from the given words.
+pub fn uniform(words: &[u64], lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * unit(mix_all(words))
+}
+
+/// Standard normal via Box–Muller on two independent hash streams.
+pub fn normal(words: &[u64]) -> f64 {
+    let h1 = mix_all(words);
+    let h2 = mix(h1 ^ 0xD1B54A32D192ED03);
+    let u1 = unit(h1).max(f64::MIN_POSITIVE); // avoid ln(0)
+    let u2 = unit(h2);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Log-normal multiplier `exp(sigma · N(0,1))` — the volatility band shape.
+pub fn lognormal_factor(words: &[u64], sigma: f64) -> f64 {
+    (sigma * normal(words)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_deterministic_and_spreads() {
+        assert_eq!(mix(42), mix(42));
+        assert_ne!(mix(42), mix(43));
+        // Consecutive inputs give very different outputs.
+        let d = (mix(1) ^ mix(2)).count_ones();
+        assert!(d > 10, "poor avalanche: {d} differing bits");
+    }
+
+    #[test]
+    fn unit_in_range() {
+        for k in 0..1000u64 {
+            let u = unit(mix(k));
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        for k in 0..100u64 {
+            let v = uniform(&[k, 7], 5.0, 6.0);
+            assert!((5.0..6.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn normal_moments_roughly_standard() {
+        let n = 20_000;
+        let vals: Vec<f64> = (0..n).map(|k| normal(&[k as u64, 99])).collect();
+        let mean = vals.iter().sum::<f64>() / n as f64;
+        let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_positive_and_centered() {
+        let n = 20_000;
+        let vals: Vec<f64> = (0..n)
+            .map(|k| lognormal_factor(&[k as u64, 3], 0.1))
+            .collect();
+        assert!(vals.iter().all(|&v| v > 0.0));
+        let mean = vals.iter().sum::<f64>() / n as f64;
+        // E[exp(0.1 Z)] = exp(0.005) ≈ 1.005.
+        assert!((mean - 1.005).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn different_streams_decorrelated() {
+        let a: Vec<f64> = (0..100).map(|k| unit(mix_all(&[k, 1]))).collect();
+        let b: Vec<f64> = (0..100).map(|k| unit(mix_all(&[k, 2]))).collect();
+        let corr: f64 = a
+            .iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - 0.5) * (y - 0.5))
+            .sum::<f64>()
+            / 100.0
+            / (1.0 / 12.0);
+        assert!(corr.abs() < 0.3, "correlation {corr}");
+    }
+}

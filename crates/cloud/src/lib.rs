@@ -1,0 +1,71 @@
+//! Synthetic IaaS cloud — the workspace's Amazon EC2 substitute.
+//!
+//! The paper measures virtual clusters on EC2, where the decisive facts are:
+//!
+//! 1. **Hidden placement.** VMs land on hosts in a multi-rack datacenter
+//!    the tenant cannot see; pair-wise performance is determined mostly by
+//!    whether two VMs share a host, a rack, or nothing.
+//! 2. **Constant + volatile band.** Each link's performance has a
+//!    long-lived constant component plus a noisy band around it
+//!    (paper §III, Appendix A of the tech report).
+//! 3. **Sparse congestion.** Occasional per-link congestion episodes
+//!    (the sparse error RPCA isolates).
+//! 4. **Rare regime shifts.** Events like VM migration re-draw the
+//!    constants (the paper saw ~3 re-calibrations in a week).
+//!
+//! [`SyntheticCloud`] reproduces exactly these four phenomena with a
+//! deterministic, seedable generator, and — unlike EC2 — exposes the ground
+//! truth ([`SyntheticCloud::ground_truth`]) so tests can check that the
+//! RPCA pipeline recovers what is actually there.
+//!
+//! All randomness is hash-derived from `(seed, link, time)` rather than
+//! drawn from a stateful RNG, so probing is reproducible and
+//! order-independent: two probes of the same link at the same instant see
+//! the same network, exactly like two tenants measuring the same wire.
+
+pub mod config;
+pub mod hash;
+pub mod placement;
+mod synthetic;
+
+pub use config::CloudConfig;
+pub use placement::{Placement, PlacementDistance};
+pub use synthetic::SyntheticCloud;
+
+use cloudconst_netmodel::{Calibrator, NetTrace, NetworkProbe};
+
+/// Record a calibration trace against any probe: one all-link calibration
+/// every `interval` seconds for `samples` samples starting at `start`.
+///
+/// This is the synthetic analogue of the paper's week-long EC2 recording
+/// ("one experimental run every 30 minutes", §V-A).
+pub fn record_trace<P: NetworkProbe>(
+    probe: &mut P,
+    calibrator: &Calibrator,
+    start: f64,
+    interval: f64,
+    samples: usize,
+) -> NetTrace {
+    let mut trace = NetTrace::new(probe.n());
+    for k in 0..samples {
+        let t = start + k as f64 * interval;
+        let run = calibrator.calibrate(probe, t);
+        trace.record(t, run.perf);
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_trace_produces_ordered_samples() {
+        let mut cloud = SyntheticCloud::new(CloudConfig::small_test(8, 7));
+        let trace = record_trace(&mut cloud, &Calibrator::new(), 0.0, 1800.0, 4);
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace.n(), 8);
+        let times: Vec<f64> = trace.samples().iter().map(|s| s.time).collect();
+        assert_eq!(times, vec![0.0, 1800.0, 3600.0, 5400.0]);
+    }
+}

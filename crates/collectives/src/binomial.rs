@@ -1,0 +1,107 @@
+//! Rank-ordered binomial tree — the paper's Baseline (from MPICH).
+
+use crate::tree::CommTree;
+
+/// Build the binomial tree MPICH uses for `MPI_Bcast`/`MPI_Scatter`.
+///
+/// Ranks are relabeled relative to the root (`rel = (rank − root) mod n`).
+/// In round `k` every node already holding the message sends to the node
+/// `2^k` beyond it, until all `n` ranks are covered. The construction is
+/// entirely network-oblivious: it depends only on rank order, which is
+/// exactly why it underperforms on heterogeneous virtual clusters.
+pub fn binomial_tree(root: usize, n: usize) -> CommTree {
+    assert!(n > 0 && root < n);
+    let mut tree = CommTree::singleton(root, n);
+    // relative rank r receives from r - 2^k where 2^k is the highest power
+    // of two ≤ r; equivalently its parent clears r's top set bit.
+    // Attach in round order so child lists reflect send order.
+    let mut round = 0usize;
+    loop {
+        let stride = 1usize << round;
+        if stride >= n {
+            break;
+        }
+        // In round `k`, senders are rel-ranks < 2^k; receiver = sender + 2^k.
+        for sender_rel in 0..stride {
+            let recv_rel = sender_rel + stride;
+            if recv_rel < n {
+                let sender = (sender_rel + root) % n;
+                let receiver = (recv_rel + root) % n;
+                tree.attach(sender, receiver);
+            }
+        }
+        round += 1;
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_all_ranks() {
+        for n in 1..20 {
+            for root in [0, n / 2, n - 1] {
+                let t = binomial_tree(root, n);
+                assert!(t.is_spanning(), "n={n} root={root}");
+                assert_eq!(t.root(), root);
+            }
+        }
+    }
+
+    #[test]
+    fn power_of_two_shape() {
+        // n=8, root=0: rel-rank parents clear the top bit.
+        let t = binomial_tree(0, 8);
+        assert_eq!(t.parent(1), Some(0));
+        assert_eq!(t.parent(2), Some(0));
+        assert_eq!(t.parent(3), Some(1));
+        assert_eq!(t.parent(4), Some(0));
+        assert_eq!(t.parent(5), Some(1));
+        assert_eq!(t.parent(6), Some(2));
+        assert_eq!(t.parent(7), Some(3));
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        // Depth of a rank equals the popcount of its relative rank, so the
+        // maximum over 0..n is 6 for n=64 (rank 63) and still 6 for n=65
+        // (rank 64 hangs directly off the root).
+        let t = binomial_tree(0, 64);
+        let d = t.depths();
+        assert_eq!(*d.iter().max().unwrap(), 6);
+        let t = binomial_tree(0, 65);
+        assert_eq!(*t.depths().iter().max().unwrap(), 6);
+        let t = binomial_tree(0, 128);
+        assert_eq!(*t.depths().iter().max().unwrap(), 7); // rank 127 = 0b1111111
+    }
+
+    #[test]
+    fn rotation_by_root() {
+        let t0 = binomial_tree(0, 8);
+        let t3 = binomial_tree(3, 8);
+        // Same shape, rotated: parent relation commutes with rotation.
+        for v in 0..8 {
+            let rotated = (v + 3) % 8;
+            match (t0.parent(v), t3.parent(rotated)) {
+                (None, None) => {}
+                (Some(p), Some(q)) => assert_eq!((p + 3) % 8, q),
+                other => panic!("mismatch at {v}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn root_sends_in_increasing_stride_order() {
+        let t = binomial_tree(0, 8);
+        assert_eq!(t.children(0), &[1, 2, 4]);
+    }
+
+    #[test]
+    fn single_node() {
+        let t = binomial_tree(0, 1);
+        assert!(t.is_spanning());
+        assert!(t.children(0).is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+//! Composite collectives built from the four primitives.
+//!
+//! The paper implements all-to-all as "a gather followed by a broadcast…
+//! also used in MPICH2" (§V-A); allreduce is classically reduce +
+//! broadcast. These helpers time the compositions consistently (the second
+//! phase starts when the first completes at the root).
+
+use crate::exec::evaluate_tree;
+use crate::tree::CommTree;
+use crate::Collective;
+use cloudconst_netmodel::PerfMatrix;
+
+/// All-gather as gather + broadcast of the assembled buffer (per-rank
+/// chunk `chunk_bytes`, broadcast of `n × chunk_bytes`).
+pub fn allgather_time(tree: &CommTree, perf: &PerfMatrix, chunk_bytes: u64) -> f64 {
+    let g = evaluate_tree(tree, perf, Collective::Gather, chunk_bytes);
+    let total = chunk_bytes * tree.n() as u64;
+    let b = evaluate_tree(tree, perf, Collective::Broadcast, total);
+    g + b
+}
+
+/// All-reduce as reduce + broadcast of the reduced buffer (both phases
+/// carry the full `msg_bytes`).
+pub fn allreduce_time(tree: &CommTree, perf: &PerfMatrix, msg_bytes: u64) -> f64 {
+    let r = evaluate_tree(tree, perf, Collective::Reduce, msg_bytes);
+    let b = evaluate_tree(tree, perf, Collective::Broadcast, msg_bytes);
+    r + b
+}
+
+/// Barrier as a zero-payload allreduce (1-byte token up and down).
+pub fn barrier_time(tree: &CommTree, perf: &PerfMatrix) -> f64 {
+    allreduce_time(tree, perf, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binomial_tree;
+    use cloudconst_netmodel::{LinkPerf, PerfMatrix};
+
+    fn perf(n: usize) -> PerfMatrix {
+        PerfMatrix::uniform(n, LinkPerf::new(1e-3, 1e8))
+    }
+
+    #[test]
+    fn allgather_is_gather_plus_bcast() {
+        let t = binomial_tree(0, 8);
+        let p = perf(8);
+        let g = evaluate_tree(&t, &p, Collective::Gather, 1000);
+        let b = evaluate_tree(&t, &p, Collective::Broadcast, 8000);
+        assert!((allgather_time(&t, &p, 1000) - (g + b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn allreduce_double_of_symmetric_bcast() {
+        let t = binomial_tree(0, 8);
+        let p = perf(8);
+        let b = evaluate_tree(&t, &p, Collective::Broadcast, 1 << 20);
+        let ar = allreduce_time(&t, &p, 1 << 20);
+        assert!((ar - 2.0 * b).abs() / ar < 1e-9);
+    }
+
+    #[test]
+    fn barrier_is_latency_bound() {
+        let t = binomial_tree(0, 16);
+        let p = perf(16);
+        let bt = barrier_time(&t, &p);
+        // 2 × (4 rounds × 1 ms) plus negligible payload.
+        assert!(bt > 7e-3 && bt < 9e-3, "barrier {bt}");
+    }
+
+    #[test]
+    fn allgather_grows_with_cluster() {
+        let p8 = perf(8);
+        let p16 = perf(16);
+        let a8 = allgather_time(&binomial_tree(0, 8), &p8, 10_000);
+        let a16 = allgather_time(&binomial_tree(0, 16), &p16, 10_000);
+        assert!(a16 > a8);
+    }
+}

@@ -1,0 +1,99 @@
+//! Additional tree shapes: k-ary, chain and flat trees.
+//!
+//! Binomial trees minimize rounds for latency-bound messages; other shapes
+//! win in other regimes (a chain maximizes pipelining for huge messages, a
+//! flat tree minimizes forwarding hops when the root's links dominate).
+//! All are rank-ordered (network-oblivious) like the binomial baseline;
+//! combine with [`crate::fnf_tree`]-style weights by relabeling if needed.
+
+use crate::tree::CommTree;
+
+/// Rank-ordered k-ary tree: machine `i`'s children are
+/// `k·i+1 … k·i+k` in relative rank space.
+pub fn kary_tree(root: usize, n: usize, k: usize) -> CommTree {
+    assert!(n > 0 && root < n && k >= 1);
+    let mut tree = CommTree::singleton(root, n);
+    for rel in 1..n {
+        let parent_rel = (rel - 1) / k;
+        let parent = (parent_rel + root) % n;
+        let child = (rel + root) % n;
+        tree.attach(parent, child);
+    }
+    tree
+}
+
+/// Chain (pipeline) tree: `root → root+1 → root+2 → …`.
+pub fn chain_tree(root: usize, n: usize) -> CommTree {
+    kary_tree(root, n, 1)
+}
+
+/// Flat tree: the root sends to every other machine directly.
+pub fn flat_tree(root: usize, n: usize) -> CommTree {
+    assert!(n > 0 && root < n);
+    let mut tree = CommTree::singleton(root, n);
+    for rel in 1..n {
+        tree.attach(root, (rel + root) % n);
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::evaluate_tree;
+    use crate::Collective;
+    use cloudconst_netmodel::{LinkPerf, PerfMatrix};
+
+    #[test]
+    fn kary_spans_and_has_bounded_degree() {
+        for k in 1..5 {
+            for n in 1..30 {
+                let t = kary_tree(0, n, k);
+                assert!(t.is_spanning(), "k={k} n={n}");
+                for v in 0..n {
+                    assert!(t.children(v).len() <= k, "degree bound violated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chain_is_a_path() {
+        let t = chain_tree(2, 5);
+        assert_eq!(t.children(2), &[3]);
+        assert_eq!(t.children(3), &[4]);
+        assert_eq!(t.children(4), &[0]);
+        assert_eq!(t.children(0), &[1]);
+        assert!(t.children(1).is_empty());
+        assert_eq!(*t.depths().iter().max().unwrap(), 4);
+    }
+
+    #[test]
+    fn flat_tree_depth_one() {
+        let t = flat_tree(1, 6);
+        assert_eq!(t.children(1).len(), 5);
+        assert_eq!(*t.depths().iter().max().unwrap(), 1);
+    }
+
+    #[test]
+    fn binary_tree_depth_logarithmic() {
+        let t = kary_tree(0, 31, 2);
+        assert_eq!(*t.depths().iter().max().unwrap(), 4); // perfect binary
+    }
+
+    #[test]
+    fn shapes_rank_as_expected_for_latency_bound_broadcast() {
+        // Pure latency: binomial ≈ binary < chain; flat loses to binomial
+        // at scale because the root serializes n−1 sends… with α-only
+        // cost each send is α, so flat = (n−1)·α vs binomial ≈ log2(n)·α.
+        let n = 16;
+        let perf = PerfMatrix::uniform(n, LinkPerf::new(1.0, 1e30));
+        let bcast = |t: &CommTree| evaluate_tree(t, &perf, Collective::Broadcast, 1);
+        let t_flat = bcast(&flat_tree(0, n));
+        let t_chain = bcast(&chain_tree(0, n));
+        let t_binom = bcast(&crate::binomial_tree(0, n));
+        assert!((t_flat - 15.0).abs() < 1e-9);
+        assert!((t_chain - 15.0).abs() < 1e-9);
+        assert!((t_binom - 4.0).abs() < 1e-9);
+    }
+}

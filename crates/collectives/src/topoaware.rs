@@ -1,0 +1,148 @@
+//! Topology-aware hierarchical tree construction.
+//!
+//! The comparison algorithm of the paper's ns-2 simulations (Fig. 13),
+//! following the design of Kandalla et al. and Subramoni et al.: with the
+//! physical topology known, build a two-level tree — a binomial tree among
+//! per-rack leaders over the (fast) inter-rack links, then a binomial tree
+//! inside each rack. On a *static* cluster this minimizes traffic across
+//! the oversubscribed core; the paper's point is that under dynamic
+//! background traffic it performs no better than the oblivious baseline,
+//! because static topology stops predicting link performance.
+
+use crate::binomial::binomial_tree;
+use crate::tree::CommTree;
+
+/// Build a rack-aware hierarchical tree.
+///
+/// `racks[v]` is the rack id of machine `v`; the root's rack leader is the
+/// root itself, other racks are led by their lowest-indexed member. Rack
+/// leaders form a binomial tree (in rack-discovery order); each rack's
+/// members hang off their leader as a binomial subtree (in member order).
+pub fn topo_aware_tree(root: usize, racks: &[usize]) -> CommTree {
+    let n = racks.len();
+    assert!(root < n);
+    let mut tree = CommTree::singleton(root, n);
+
+    // Group machines by rack, root's rack first, preserving index order.
+    let mut rack_order: Vec<usize> = Vec::new();
+    let mut members: Vec<Vec<usize>> = Vec::new();
+    let mut rack_slot = std::collections::HashMap::new();
+    // Seed with the root's rack so it is rank 0 among leaders.
+    rack_slot.insert(racks[root], 0usize);
+    rack_order.push(racks[root]);
+    members.push(Vec::new());
+    for v in 0..n {
+        let slot = *rack_slot.entry(racks[v]).or_insert_with(|| {
+            rack_order.push(racks[v]);
+            members.push(Vec::new());
+            members.len() - 1
+        });
+        members[slot].push(v);
+    }
+
+    // Leader of slot 0 is the root; other leaders are the first member.
+    let leaders: Vec<usize> = members
+        .iter()
+        .enumerate()
+        .map(|(slot, ms)| if slot == 0 { root } else { ms[0] })
+        .collect();
+
+    // Binomial tree over leaders (in slot order, root first).
+    let leader_tree = binomial_tree(0, leaders.len());
+    for (slot, &leader) in leaders.iter().enumerate() {
+        if let Some(pslot) = leader_tree.parent(slot) {
+            tree.attach(leaders[pslot], leader);
+        }
+    }
+
+    // Binomial subtree within each rack, rooted at the leader.
+    for (slot, ms) in members.iter().enumerate() {
+        let leader = leaders[slot];
+        // Order members with the leader first.
+        let mut ordered: Vec<usize> = Vec::with_capacity(ms.len());
+        ordered.push(leader);
+        ordered.extend(ms.iter().copied().filter(|&v| v != leader));
+        let local = binomial_tree(0, ordered.len());
+        for (k, &v) in ordered.iter().enumerate() {
+            if let Some(pk) = local.parent(k) {
+                tree.attach(ordered[pk], v);
+            }
+        }
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_multi_rack_cluster() {
+        let racks = [0, 0, 0, 1, 1, 1, 2, 2, 2];
+        for root in 0..9 {
+            let t = topo_aware_tree(root, &racks);
+            assert!(t.is_spanning(), "root {root}");
+            assert_eq!(t.root(), root);
+        }
+    }
+
+    #[test]
+    fn one_cross_rack_edge_per_rack() {
+        let racks = [0, 0, 1, 1, 2, 2, 3, 3];
+        let t = topo_aware_tree(0, &racks);
+        let cross: Vec<(usize, usize)> = t
+            .edges()
+            .into_iter()
+            .filter(|&(a, b)| racks[a] != racks[b])
+            .collect();
+        // Exactly racks−1 cross-rack edges — the hierarchical property.
+        assert_eq!(cross.len(), 3, "cross edges {cross:?}");
+    }
+
+    #[test]
+    fn intra_rack_members_hang_below_leader() {
+        let racks = [0, 1, 1, 1, 0, 0];
+        let t = topo_aware_tree(0, &racks);
+        // Rack 1's leader is machine 1; machines 2 and 3 must be in its
+        // subtree (reachable from 1 without leaving the rack).
+        for v in [2usize, 3] {
+            let mut cur = v;
+            loop {
+                let p = t.parent(cur).expect("reaches leader");
+                if p == 1 {
+                    break;
+                }
+                assert_eq!(racks[p], 1, "path of {v} left the rack at {p}");
+                cur = p;
+            }
+        }
+    }
+
+    #[test]
+    fn single_rack_degenerates_to_binomial() {
+        let racks = [0usize; 8];
+        let t = topo_aware_tree(0, &racks);
+        let b = binomial_tree(0, 8);
+        for v in 0..8 {
+            assert_eq!(t.parent(v), b.parent(v));
+        }
+    }
+
+    #[test]
+    fn root_in_middle_rack() {
+        let racks = [0, 0, 1, 1, 2, 2];
+        let t = topo_aware_tree(3, &racks);
+        assert!(t.is_spanning());
+        // Root's rack (1) supplies the leader — the root itself.
+        assert_eq!(t.parent(3), None);
+        // Its rack peer hangs under it.
+        let mut cur = 2;
+        while let Some(p) = t.parent(cur) {
+            if p == 3 {
+                return;
+            }
+            cur = p;
+        }
+        panic!("machine 2 not in root's subtree path");
+    }
+}

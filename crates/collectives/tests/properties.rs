@@ -1,0 +1,142 @@
+//! Property-based tests of tree construction and scheduling invariants.
+
+use cloudconst_collectives::{
+    binomial_tree, evaluate_tree, fnf_tree, schedule, topo_aware_tree, Collective,
+};
+use cloudconst_linalg::Mat;
+use cloudconst_netmodel::{LinkPerf, PerfMatrix};
+use proptest::prelude::*;
+
+fn weights_strategy(max_n: usize) -> impl Strategy<Value = Mat> {
+    (2..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec(0.1f64..100.0, n * n).prop_map(move |mut v| {
+            for i in 0..n {
+                v[i * n + i] = 0.0;
+            }
+            Mat::from_vec(n, n, v)
+        })
+    })
+}
+
+fn perf_strategy(max_n: usize) -> impl Strategy<Value = PerfMatrix> {
+    (2..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec((1e-5f64..1e-3, 1e6f64..1e9), n * n).prop_map(move |v| {
+            PerfMatrix::from_fn(n, |i, j| {
+                let (a, b) = v[i * n + j];
+                LinkPerf::new(a, b)
+            })
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn binomial_spans_any_root(n in 1usize..50, root_sel in 0usize..50) {
+        let root = root_sel % n;
+        let t = binomial_tree(root, n);
+        prop_assert!(t.is_spanning());
+        prop_assert_eq!(t.root(), root);
+        // Depth bounded by ceil(log2 n).
+        let max_depth = *t.depths().iter().max().unwrap();
+        let bound = (n as f64).log2().ceil() as usize;
+        prop_assert!(max_depth <= bound.max(1), "depth {max_depth} > {bound}");
+    }
+
+    #[test]
+    fn fnf_spans_and_respects_greedy_first_pick(w in weights_strategy(10)) {
+        let n = w.rows();
+        let t = fnf_tree(0, &w);
+        prop_assert!(t.is_spanning());
+        // The root's first child is its cheapest outgoing link.
+        let first = t.children(0)[0];
+        for u in 1..n {
+            prop_assert!(w[(0, first)] <= w[(0, u)] || u == first);
+        }
+    }
+
+    #[test]
+    fn topo_aware_spans_with_one_uplink_per_foreign_rack(
+        racks in proptest::collection::vec(0usize..5, 2..24),
+        root_sel in 0usize..24,
+    ) {
+        let n = racks.len();
+        let root = root_sel % n;
+        let t = topo_aware_tree(root, &racks);
+        prop_assert!(t.is_spanning());
+        let cross = t
+            .edges()
+            .into_iter()
+            .filter(|&(a, b)| racks[a] != racks[b])
+            .count();
+        let distinct: std::collections::HashSet<_> = racks.iter().collect();
+        prop_assert_eq!(cross, distinct.len() - 1);
+    }
+
+    #[test]
+    fn schedule_is_topological_and_complete(n in 2usize..20, root_sel in 0usize..20) {
+        let root = root_sel % n;
+        let t = binomial_tree(root, n);
+        for op in [Collective::Broadcast, Collective::Scatter, Collective::Reduce, Collective::Gather] {
+            let dag = schedule(&t, op, 1000);
+            prop_assert_eq!(dag.transfers.len(), n - 1);
+            for (i, tr) in dag.transfers.iter().enumerate() {
+                for &d in &tr.deps {
+                    prop_assert!(d < i);
+                }
+                prop_assert!(tr.src < n && tr.dst < n && tr.src != tr.dst);
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_total_bytes_counts_depths(n in 2usize..16, chunk in 1u64..10_000) {
+        // Total bytes on the wire for scatter = chunk × Σ_{v≠root} depth-
+        // weighted subtree relation = chunk × Σ subtree sizes of non-roots.
+        let t = binomial_tree(0, n);
+        let sizes = t.subtree_sizes();
+        let expect: u64 = (1..n).map(|v| chunk * sizes[v] as u64).sum();
+        let dag = schedule(&t, Collective::Scatter, chunk);
+        prop_assert_eq!(dag.total_bytes(), expect);
+    }
+
+    #[test]
+    fn gather_mirrors_scatter_time_on_symmetric_network(n in 2usize..14) {
+        // Symmetric links: w(i,j) = w(j,i).
+        let perf = PerfMatrix::from_fn(n, |i, j| {
+            let (a, b) = (i.min(j), i.max(j));
+            LinkPerf::new(1e-4 * (1 + a + b) as f64, 1e7 * (1 + (a * 31 + b) % 9) as f64)
+        });
+        let t = binomial_tree(0, n);
+        let s = evaluate_tree(&t, &perf, Collective::Scatter, 100_000);
+        let g = evaluate_tree(&t, &perf, Collective::Gather, 100_000);
+        prop_assert!((s - g).abs() <= 1e-9 * s.max(1e-12), "scatter {s} vs gather {g}");
+    }
+
+    #[test]
+    fn broadcast_time_monotone_in_message_size(perf in perf_strategy(10), a in 1u64..1_000_000, b in 1u64..1_000_000) {
+        let t = binomial_tree(0, perf.n());
+        let (lo, hi) = (a.min(b), a.max(b));
+        let tl = evaluate_tree(&t, &perf, Collective::Broadcast, lo);
+        let th = evaluate_tree(&t, &perf, Collective::Broadcast, hi);
+        prop_assert!(tl <= th + 1e-12);
+    }
+
+    #[test]
+    fn fnf_senders_adopt_in_nondecreasing_weight_order(w in weights_strategy(12)) {
+        // Greedy invariant: when a sender adopts its k-th child, every
+        // machine it adopts later was still unselected then, so the
+        // sender's child weights are non-decreasing in adoption order.
+        let t = fnf_tree(0, &w);
+        for s in 0..w.rows() {
+            let kids = t.children(s);
+            for pair in kids.windows(2) {
+                prop_assert!(
+                    w[(s, pair[0])] <= w[(s, pair[1])] + 1e-12,
+                    "sender {s}: {} then {}", pair[0], pair[1]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Algorithm 1: the adaptive RPCA-based advisor.
+
+use crate::estimator::{estimate, ConstantEstimate, EstimatorKind};
+use crate::{CoreError, Result};
+use cloudconst_netmodel::{CalibrationConfig, Calibrator, NetworkProbe, PerfMatrix, TpMatrix};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the advisor loop.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdvisorConfig {
+    /// Number of calibration snapshots per TP-matrix — the paper's *time
+    /// step* parameter (default 10, chosen in Fig. 5).
+    pub time_step: usize,
+    /// Seconds between consecutive snapshots of one TP-matrix.
+    pub snapshot_interval: f64,
+    /// Maintenance threshold on `|t − t′| / t′` (default 1.0 = 100%,
+    /// chosen in Fig. 6).
+    pub threshold: f64,
+    /// Which estimator guides optimizations.
+    pub estimator: EstimatorKind,
+    /// Probe protocol parameters.
+    pub calibration: CalibrationConfig,
+}
+
+impl Default for AdvisorConfig {
+    fn default() -> Self {
+        AdvisorConfig {
+            time_step: 10,
+            // Paper protocol: calibration snapshots are the 30-minute
+            // experimental runs — far apart relative to congestion-burst
+            // durations, so rows sample independent network states.
+            snapshot_interval: 1800.0,
+            threshold: 1.0,
+            estimator: EstimatorKind::Rpca,
+            calibration: CalibrationConfig::default(),
+        }
+    }
+}
+
+/// The advisor's current model of the network.
+#[derive(Debug, Clone)]
+pub struct ModelState {
+    /// The constant estimate in force (`N_D`'s row, as a matrix).
+    pub estimate: ConstantEstimate,
+    /// When the model was (re)built.
+    pub calibrated_at: f64,
+    /// Time the calibration probes occupied the network.
+    pub calibration_overhead: f64,
+    /// The TP-matrix the model was built from.
+    pub tp: TpMatrix,
+}
+
+/// Outcome of a maintenance check (Algorithm 1 lines 6–9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintenanceDecision {
+    /// Observed performance is within the threshold — keep using `N_D`.
+    Keep,
+    /// Significant change detected — re-calibrate and re-run RPCA.
+    Recalibrate,
+}
+
+/// The paper's Algorithm 1 as a stateful object.
+///
+/// ```text
+/// 1  calibrate the TP-matrix N_A on virtual cluster C
+/// 2  run RPCA → N_D, N_E
+/// 3  use N_D to guide a network performance aware optimization
+/// 4  measure the operation's real performance t
+/// 5  let t′ be the expected performance (α-β model on N_D)
+/// 6  if |t − t′|/t′ ≥ threshold: goto 1     (update maintenance)
+/// 8  else: goto 3                            (keep the same N_D)
+/// ```
+#[derive(Debug)]
+pub struct Advisor {
+    cfg: AdvisorConfig,
+    model: Option<ModelState>,
+    calibrations: usize,
+}
+
+impl Advisor {
+    /// New advisor with the given configuration; no model yet.
+    pub fn new(cfg: AdvisorConfig) -> Self {
+        Advisor {
+            cfg,
+            model: None,
+            calibrations: 0,
+        }
+    }
+
+    /// Advisor with the paper's default tuning (time step 10, threshold
+    /// 100%, RPCA estimator).
+    pub fn with_defaults() -> Self {
+        Self::new(AdvisorConfig::default())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AdvisorConfig {
+        &self.cfg
+    }
+
+    /// Lines 1–2: calibrate a fresh TP-matrix and rebuild the model.
+    /// Returns the new state.
+    pub fn calibrate<P: NetworkProbe>(&mut self, probe: &mut P, now: f64) -> Result<&ModelState> {
+        let calibrator = Calibrator {
+            config: self.cfg.calibration.clone(),
+        };
+        let (tp, overhead) =
+            calibrator.calibrate_tp(probe, now, self.cfg.snapshot_interval, self.cfg.time_step);
+        let est = estimate(&tp, self.cfg.estimator)?;
+        self.calibrations += 1;
+        self.model = Some(ModelState {
+            estimate: est,
+            calibrated_at: now,
+            calibration_overhead: overhead,
+            tp,
+        });
+        Ok(self.model.as_ref().unwrap())
+    }
+
+    /// The model, if calibrated.
+    pub fn model(&self) -> Option<&ModelState> {
+        self.model.as_ref()
+    }
+
+    /// The constant performance matrix guiding optimizations (line 3).
+    pub fn constant(&self) -> Result<&PerfMatrix> {
+        self.model
+            .as_ref()
+            .map(|m| &m.estimate.perf)
+            .ok_or(CoreError::NotCalibrated)
+    }
+
+    /// `Norm(N_E)` of the current model.
+    pub fn norm_ne(&self) -> Result<f64> {
+        self.model
+            .as_ref()
+            .map(|m| m.estimate.norm_ne)
+            .ok_or(CoreError::NotCalibrated)
+    }
+
+    /// Expected transfer time under the constant component (the `t′` of
+    /// line 5, for a single transfer).
+    pub fn expected_transfer(&self, i: usize, j: usize, bytes: u64) -> Result<f64> {
+        Ok(self.constant()?.transfer_time(i, j, bytes))
+    }
+
+    /// Line 6: compare observed vs expected operation time.
+    pub fn check(&self, expected: f64, observed: f64) -> MaintenanceDecision {
+        if expected <= 0.0 {
+            // No basis for comparison — be conservative and re-calibrate.
+            return MaintenanceDecision::Recalibrate;
+        }
+        if ((observed - expected).abs() / expected) >= self.cfg.threshold {
+            MaintenanceDecision::Recalibrate
+        } else {
+            MaintenanceDecision::Keep
+        }
+    }
+
+    /// Lines 4–9 in one call: check, and re-calibrate on demand. Returns
+    /// the decision that was acted on.
+    pub fn observe<P: NetworkProbe>(
+        &mut self,
+        probe: &mut P,
+        now: f64,
+        expected: f64,
+        observed: f64,
+    ) -> Result<MaintenanceDecision> {
+        let d = self.check(expected, observed);
+        if d == MaintenanceDecision::Recalibrate {
+            self.calibrate(probe, now)?;
+        }
+        Ok(d)
+    }
+
+    /// How many times the advisor has calibrated (1 + maintenance events).
+    pub fn calibrations(&self) -> usize {
+        self.calibrations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudconst_cloud::{CloudConfig, SyntheticCloud};
+    use cloudconst_netmodel::BETA_PROBE_BYTES;
+
+    fn quick_cfg() -> AdvisorConfig {
+        AdvisorConfig {
+            time_step: 5,
+            snapshot_interval: 30.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn calibrate_then_guide() {
+        let mut cloud = SyntheticCloud::new(CloudConfig::calm(8, 3));
+        let mut advisor = Advisor::new(quick_cfg());
+        assert!(matches!(advisor.constant(), Err(CoreError::NotCalibrated)));
+        advisor.calibrate(&mut cloud, 0.0).unwrap();
+        let truth = cloud.ground_truth(0);
+        let est = advisor.constant().unwrap();
+        for i in 0..8 {
+            for j in 0..8 {
+                if i == j {
+                    continue;
+                }
+                let a = est.transfer_time(i, j, BETA_PROBE_BYTES);
+                let b = truth.transfer_time(i, j, BETA_PROBE_BYTES);
+                assert!((a - b).abs() / b < 0.05, "({i},{j}): {a} vs {b}");
+            }
+        }
+        assert_eq!(advisor.calibrations(), 1);
+    }
+
+    #[test]
+    fn calm_cloud_norm_ne_near_zero() {
+        let mut cloud = SyntheticCloud::new(CloudConfig::calm(6, 4));
+        let mut advisor = Advisor::new(quick_cfg());
+        advisor.calibrate(&mut cloud, 0.0).unwrap();
+        assert!(advisor.norm_ne().unwrap() < 0.05);
+    }
+
+    #[test]
+    fn noisy_cloud_norm_ne_larger_than_calm() {
+        let mut calm = SyntheticCloud::new(CloudConfig::calm(6, 4));
+        let mut noisy_cfg = CloudConfig::small_test(6, 4);
+        noisy_cfg.volatility_sigma = 0.3;
+        noisy_cfg.spike_prob = 0.3;
+        let mut noisy = SyntheticCloud::new(noisy_cfg);
+        let mut a1 = Advisor::new(quick_cfg());
+        let mut a2 = Advisor::new(quick_cfg());
+        a1.calibrate(&mut calm, 0.0).unwrap();
+        a2.calibrate(&mut noisy, 0.0).unwrap();
+        assert!(
+            a2.model().unwrap().estimate.norm_ne_l1 > a1.model().unwrap().estimate.norm_ne_l1,
+            "noisy {} <= calm {}",
+            a2.model().unwrap().estimate.norm_ne_l1,
+            a1.model().unwrap().estimate.norm_ne_l1
+        );
+    }
+
+    #[test]
+    fn maintenance_decision_thresholding() {
+        let advisor = Advisor::with_defaults(); // threshold 100%
+        assert_eq!(advisor.check(1.0, 1.5), MaintenanceDecision::Keep);
+        assert_eq!(advisor.check(1.0, 2.0), MaintenanceDecision::Recalibrate);
+        assert_eq!(advisor.check(1.0, 0.05), MaintenanceDecision::Keep); // 95% < 100%
+        assert_eq!(advisor.check(0.0, 1.0), MaintenanceDecision::Recalibrate);
+    }
+
+    #[test]
+    fn observe_recalibrates_on_big_change() {
+        let mut cloud = SyntheticCloud::new(CloudConfig::calm(6, 8));
+        let mut advisor = Advisor::new(quick_cfg());
+        advisor.calibrate(&mut cloud, 0.0).unwrap();
+        let d = advisor.observe(&mut cloud, 500.0, 1.0, 5.0).unwrap();
+        assert_eq!(d, MaintenanceDecision::Recalibrate);
+        assert_eq!(advisor.calibrations(), 2);
+        assert_eq!(advisor.model().unwrap().calibrated_at, 500.0);
+        let d = advisor.observe(&mut cloud, 600.0, 1.0, 1.1).unwrap();
+        assert_eq!(d, MaintenanceDecision::Keep);
+        assert_eq!(advisor.calibrations(), 2);
+    }
+
+    #[test]
+    fn expected_transfer_uses_constant() {
+        let mut cloud = SyntheticCloud::new(CloudConfig::calm(4, 1));
+        let mut advisor = Advisor::new(quick_cfg());
+        advisor.calibrate(&mut cloud, 0.0).unwrap();
+        let t = advisor.expected_transfer(0, 1, BETA_PROBE_BYTES).unwrap();
+        let truth = cloud
+            .ground_truth(0)
+            .transfer_time(0, 1, BETA_PROBE_BYTES);
+        assert!((t - truth).abs() / truth < 0.05);
+    }
+
+    #[test]
+    fn regime_shift_detected_through_observation() {
+        // Cloud with a migration at t = 10 000 that changes many links.
+        let mut cfg = CloudConfig::calm(10, 5);
+        cfg.shift_times = vec![10_000.0];
+        cfg.migrate_frac = 0.9;
+        let mut cloud = SyntheticCloud::new(cfg);
+        let mut advisor = Advisor::new(quick_cfg());
+        advisor.calibrate(&mut cloud, 0.0).unwrap();
+
+        // Find a link whose constant changed a lot across the shift.
+        let before = cloud.ground_truth(0).clone();
+        let after = cloud.ground_truth(1).clone();
+        let (mut bi, mut bj, mut brel) = (0, 1, 0.0);
+        for i in 0..10 {
+            for j in 0..10 {
+                if i == j {
+                    continue;
+                }
+                let tb = before.transfer_time(i, j, BETA_PROBE_BYTES);
+                let ta = after.transfer_time(i, j, BETA_PROBE_BYTES);
+                let rel = (ta - tb).abs() / tb;
+                if rel > brel {
+                    (bi, bj, brel) = (i, j, rel);
+                }
+            }
+        }
+        assert!(brel > 1.0, "fixture too tame: max relative change {brel}");
+
+        let expected = advisor.expected_transfer(bi, bj, BETA_PROBE_BYTES).unwrap();
+        let observed = cloud.probe(bi, bj, BETA_PROBE_BYTES, 20_000.0);
+        let d = advisor.observe(&mut cloud, 20_000.0, expected, observed).unwrap();
+        assert_eq!(d, MaintenanceDecision::Recalibrate);
+    }
+}

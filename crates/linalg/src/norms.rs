@@ -1,0 +1,111 @@
+//! Matrix norms and sparsity measures.
+//!
+//! RPCA's objective mixes the nuclear norm (handled in [`crate::svd`]), the
+//! ℓ₁ norm, and — in the paper's effectiveness metric — a "zero norm"
+//! `‖E‖₀`. Floating-point RPCA output is never exactly zero, so the zero
+//! norm here is a *thresholded count*: an entry counts as non-zero when its
+//! magnitude exceeds `tol · max_abs(reference)`.
+
+use crate::Mat;
+
+/// Frobenius norm: `sqrt(Σ aᵢⱼ²)`.
+pub fn fro_norm(m: &Mat) -> f64 {
+    m.as_slice().iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+/// Entrywise ℓ₁ norm: `Σ |aᵢⱼ|`.
+pub fn l1_norm(m: &Mat) -> f64 {
+    m.as_slice().iter().map(|v| v.abs()).sum()
+}
+
+/// Entrywise infinity norm: `max |aᵢⱼ|`.
+pub fn inf_norm(m: &Mat) -> f64 {
+    m.max_abs()
+}
+
+/// Number of entries with `|aᵢⱼ| > threshold`.
+pub fn count_above(m: &Mat, threshold: f64) -> usize {
+    m.as_slice().iter().filter(|v| v.abs() > threshold).count()
+}
+
+/// The paper's relative zero-norm `‖E‖₀ / ‖A‖₀` implemented with a
+/// threshold relative to the scale of `reference`.
+///
+/// `‖E‖₀` counts entries of `e` whose magnitude exceeds
+/// `rel_tol · max_abs(reference)`; `‖A‖₀` counts entries of `reference`
+/// exceeding the same threshold. Returns 0.0 when `reference` is all
+/// (numerically) zero.
+pub fn zero_norm_frac(e: &Mat, reference: &Mat, rel_tol: f64) -> f64 {
+    let scale = reference.max_abs();
+    if scale == 0.0 {
+        return 0.0;
+    }
+    let thresh = rel_tol * scale;
+    let denom = count_above(reference, thresh);
+    if denom == 0 {
+        return 0.0;
+    }
+    count_above(e, thresh) as f64 / denom as f64
+}
+
+/// ℓ₁ analogue of [`zero_norm_frac`]: `‖E‖₁ / ‖A‖₁`.
+///
+/// Smoother than the thresholded count and used wherever the paper's
+/// qualitative `Norm(N_E)` trends are checked against continuous quantities.
+pub fn l1_norm_frac(e: &Mat, reference: &Mat) -> f64 {
+    let denom = l1_norm(reference);
+    if denom == 0.0 {
+        0.0
+    } else {
+        l1_norm(e) / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fro_of_345() {
+        let m = Mat::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert!((fro_norm(&m) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l1_and_inf() {
+        let m = Mat::from_rows(&[&[1.0, -2.0], &[3.0, -4.0]]);
+        assert_eq!(l1_norm(&m), 10.0);
+        assert_eq!(inf_norm(&m), 4.0);
+    }
+
+    #[test]
+    fn count_above_threshold() {
+        let m = Mat::from_rows(&[&[0.1, -2.0], &[3.0, 0.0]]);
+        assert_eq!(count_above(&m, 0.5), 2);
+        assert_eq!(count_above(&m, 0.0), 3);
+    }
+
+    #[test]
+    fn zero_norm_frac_basic() {
+        let a = Mat::full(2, 2, 10.0);
+        let mut e = Mat::zeros(2, 2);
+        e[(0, 0)] = 5.0;
+        // threshold = 1e-6 * 10; one of four entries of e above it, all of a.
+        assert!((zero_norm_frac(&e, &a, 1e-6) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_norm_frac_zero_reference() {
+        let a = Mat::zeros(3, 3);
+        let e = Mat::full(3, 3, 1.0);
+        assert_eq!(zero_norm_frac(&e, &a, 1e-6), 0.0);
+    }
+
+    #[test]
+    fn l1_frac() {
+        let a = Mat::full(2, 2, 2.0);
+        let e = Mat::full(2, 2, 1.0);
+        assert!((l1_norm_frac(&e, &a) - 0.5).abs() < 1e-12);
+        assert_eq!(l1_norm_frac(&e, &Mat::zeros(2, 2)), 0.0);
+    }
+}

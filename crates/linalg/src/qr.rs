@@ -1,0 +1,159 @@
+//! Householder QR factorization (thin form).
+
+use crate::{LinalgError, Mat, Result};
+
+/// Result of [`qr_thin`]: `a = q * r` with `q` having orthonormal columns.
+#[derive(Debug, Clone)]
+pub struct QrResult {
+    /// `m × k` matrix with orthonormal columns, `k = min(m, n)`.
+    pub q: Mat,
+    /// `k × n` upper-triangular factor.
+    pub r: Mat,
+}
+
+/// Thin QR of an `m × n` matrix via Householder reflections.
+///
+/// Returns `Q` (`m × k`) with orthonormal columns and upper-triangular `R`
+/// (`k × n`) where `k = min(m, n)`, such that `Q R` reconstructs the input
+/// to machine precision.
+pub fn qr_thin(a: &Mat) -> Result<QrResult> {
+    let (m, n) = a.shape();
+    if m == 0 || n == 0 {
+        return Err(LinalgError::Empty);
+    }
+    let k = m.min(n);
+    let mut r = a.clone();
+    // Householder vectors, stored full-length for simplicity.
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(k);
+
+    for j in 0..k {
+        // Build the reflector annihilating column j below the diagonal.
+        let mut v = vec![0.0; m];
+        let mut norm = 0.0;
+        for i in j..m {
+            let x = r[(i, j)];
+            v[i] = x;
+            norm += x * x;
+        }
+        let norm = norm.sqrt();
+        if norm > 0.0 {
+            let sign = if v[j] >= 0.0 { 1.0 } else { -1.0 };
+            v[j] += sign * norm;
+            let vnorm: f64 = v[j..].iter().map(|x| x * x).sum::<f64>().sqrt();
+            if vnorm > 0.0 {
+                for x in v[j..].iter_mut() {
+                    *x /= vnorm;
+                }
+                // Apply (I - 2vvᵀ) to the remaining columns of R.
+                for c in j..n {
+                    let dot: f64 = (j..m).map(|i| v[i] * r[(i, c)]).sum();
+                    for i in j..m {
+                        r[(i, c)] -= 2.0 * v[i] * dot;
+                    }
+                }
+            }
+        }
+        vs.push(v);
+    }
+
+    // Q = H_0 H_1 ... H_{k-1} applied to the first k columns of I.
+    let mut q = Mat::zeros(m, k);
+    for c in 0..k {
+        q[(c, c)] = 1.0;
+    }
+    for j in (0..k).rev() {
+        let v = &vs[j];
+        for c in 0..k {
+            let dot: f64 = (j..m).map(|i| v[i] * q[(i, c)]).sum();
+            if dot != 0.0 {
+                for i in j..m {
+                    q[(i, c)] -= 2.0 * v[i] * dot;
+                }
+            }
+        }
+    }
+
+    // Trim R to k × n and force exact zeros below the diagonal.
+    let mut r_out = Mat::zeros(k, n);
+    for i in 0..k {
+        for j in 0..n {
+            r_out[(i, j)] = if j >= i { r[(i, j)] } else { 0.0 };
+        }
+    }
+    Ok(QrResult { q, r: r_out })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norms::fro_norm;
+
+    fn assert_close(a: &Mat, b: &Mat, tol: f64) {
+        assert_eq!(a.shape(), b.shape());
+        let d = a.sub(b).unwrap();
+        assert!(
+            fro_norm(&d) < tol,
+            "matrices differ by {}",
+            fro_norm(&d)
+        );
+    }
+
+    #[test]
+    fn reconstructs_tall() {
+        let a = Mat::from_rows(&[
+            &[1.0, 2.0],
+            &[3.0, 4.0],
+            &[5.0, 6.0],
+        ]);
+        let QrResult { q, r } = qr_thin(&a).unwrap();
+        assert_eq!(q.shape(), (3, 2));
+        assert_eq!(r.shape(), (2, 2));
+        assert_close(&q.matmul(&r).unwrap(), &a, 1e-12);
+    }
+
+    #[test]
+    fn q_orthonormal() {
+        let a = Mat::from_rows(&[
+            &[2.0, -1.0, 0.5],
+            &[0.0, 3.0, 1.0],
+            &[1.0, 1.0, 1.0],
+            &[4.0, 0.0, -2.0],
+        ]);
+        let QrResult { q, .. } = qr_thin(&a).unwrap();
+        let qtq = q.transpose().matmul(&q).unwrap();
+        assert_close(&qtq, &Mat::eye(3), 1e-12);
+    }
+
+    #[test]
+    fn r_upper_triangular() {
+        let a = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 10.0]]);
+        let QrResult { r, .. } = qr_thin(&a).unwrap();
+        for i in 0..3 {
+            for j in 0..i {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn wide_matrix() {
+        let a = Mat::from_rows(&[&[1.0, 2.0, 3.0, 4.0], &[5.0, 6.0, 7.0, 8.0]]);
+        let QrResult { q, r } = qr_thin(&a).unwrap();
+        assert_eq!(q.shape(), (2, 2));
+        assert_eq!(r.shape(), (2, 4));
+        assert_close(&q.matmul(&r).unwrap(), &a, 1e-12);
+    }
+
+    #[test]
+    fn empty_errors() {
+        assert!(matches!(qr_thin(&Mat::zeros(0, 3)), Err(LinalgError::Empty)));
+    }
+
+    #[test]
+    fn rank_deficient_still_reconstructs() {
+        // Second column is 2x the first.
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let QrResult { q, r } = qr_thin(&a).unwrap();
+        assert_close(&q.matmul(&r).unwrap(), &a, 1e-12);
+    }
+}

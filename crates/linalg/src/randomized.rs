@@ -1,0 +1,195 @@
+//! Randomized truncated SVD (Halko–Martinsson–Tropp).
+//!
+//! The Gram-trick SVD in [`crate::svd`] is ideal when one dimension is
+//! tiny (RPCA on `time_steps × N²` matrices). When *both* dimensions grow
+//! — e.g. snapshot counts in the hundreds for long-horizon traces — a
+//! randomized range finder with a few power iterations computes the top-k
+//! triplets in `O(mnk)` without ever forming a Gram matrix, with
+//! accuracy within a small factor of the optimal rank-k approximation
+//! (with high probability).
+
+use crate::qr::qr_thin;
+use crate::svd::{svd_thin, Svd};
+use crate::{LinalgError, Mat, Result};
+
+/// Options for [`randomized_svd`].
+#[derive(Debug, Clone)]
+pub struct RandomizedSvdOptions {
+    /// Oversampling beyond the target rank (classic choice: 5–10).
+    pub oversample: usize,
+    /// Power iterations to sharpen the spectrum (0–3; 2 handles slowly
+    /// decaying spectra).
+    pub power_iters: usize,
+    /// Seed for the Gaussian test matrix.
+    pub seed: u64,
+}
+
+impl Default for RandomizedSvdOptions {
+    fn default() -> Self {
+        RandomizedSvdOptions {
+            oversample: 8,
+            power_iters: 2,
+            seed: 0x5EED,
+        }
+    }
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic standard-normal value for entry `k` of stream `seed`.
+fn gaussian(seed: u64, k: u64) -> f64 {
+    let h1 = splitmix(seed ^ k.wrapping_mul(0x9E3779B97F4A7C15));
+    let h2 = splitmix(h1 ^ 0xD1B54A32D192ED03);
+    let u1 = ((h1 >> 11) as f64 * (1.0 / (1u64 << 53) as f64)).max(f64::MIN_POSITIVE);
+    let u2 = (h2 >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Top-`k` singular triplets of `a` via a randomized range finder.
+///
+/// Returns at most `min(k, min(m, n))` triplets in descending order.
+///
+/// # Errors
+/// [`LinalgError::Empty`] for empty input or `k == 0`.
+pub fn randomized_svd(a: &Mat, k: usize, opts: &RandomizedSvdOptions) -> Result<Svd> {
+    let (m, n) = a.shape();
+    if m == 0 || n == 0 || k == 0 {
+        return Err(LinalgError::Empty);
+    }
+    let target = k.min(m.min(n));
+    let l = (target + opts.oversample).min(n.min(m));
+
+    // Gaussian test matrix Ω (n × l), deterministic in the seed.
+    let mut omega = Mat::zeros(n, l);
+    for i in 0..n {
+        for j in 0..l {
+            omega[(i, j)] = gaussian(opts.seed, (i * l + j) as u64);
+        }
+    }
+
+    // Range sketch Y = A Ω, orthonormalized; power iterations
+    // Y ← A (Aᵀ Q) sharpen the separation of the top singular values.
+    let mut q = qr_thin(&a.matmul(&omega)?)?.q;
+    for _ in 0..opts.power_iters {
+        let z = qr_thin(&a.transpose().matmul(&q)?)?.q;
+        q = qr_thin(&a.matmul(&z)?)?.q;
+    }
+
+    // Project: B = Qᵀ A (l × n), small SVD, lift U back.
+    let b = q.transpose().matmul(a)?;
+    let small = svd_thin(&b)?;
+    let u = q.matmul(&small.u)?;
+
+    // Truncate to the requested rank.
+    let keep = target.min(small.s.len());
+    let mut u_out = Mat::zeros(m, keep);
+    let mut v_out = Mat::zeros(n, keep);
+    for c in 0..keep {
+        for r in 0..m {
+            u_out[(r, c)] = u[(r, c)];
+        }
+        for r in 0..n {
+            v_out[(r, c)] = small.v[(r, c)];
+        }
+    }
+    Ok(Svd {
+        u: u_out,
+        s: small.s[..keep].to_vec(),
+        v: v_out,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norms::fro_norm;
+
+    /// Deterministic low-rank test matrix: sum of r outer products.
+    fn low_rank(m: usize, n: usize, r: usize) -> Mat {
+        let mut a = Mat::zeros(m, n);
+        for k in 0..r {
+            let scale = 10.0 / (1 + k) as f64;
+            let u: Vec<f64> = (0..m).map(|i| ((i * 7 + k * 3) % 5) as f64 - 2.0).collect();
+            let v: Vec<f64> = (0..n).map(|j| ((j * 11 + k) % 7) as f64 - 3.0).collect();
+            a.axpy(scale, &Mat::outer(&u, &v)).unwrap();
+        }
+        a
+    }
+
+    #[test]
+    fn recovers_exact_low_rank() {
+        let a = low_rank(40, 60, 3);
+        let svd = randomized_svd(&a, 3, &RandomizedSvdOptions::default()).unwrap();
+        let back = svd.reconstruct().unwrap();
+        let err = fro_norm(&back.sub(&a).unwrap()) / fro_norm(&a);
+        assert!(err < 1e-8, "relative error {err}");
+    }
+
+    #[test]
+    fn matches_dense_svd_leading_values() {
+        let a = low_rank(25, 30, 5);
+        let dense = svd_thin(&a).unwrap();
+        let rand = randomized_svd(&a, 5, &RandomizedSvdOptions::default()).unwrap();
+        // Tolerance relative to σ₁: trailing values may be numerical zeros
+        // whose noise floors differ between the two algorithms.
+        let scale = dense.s[0];
+        for k in 0..5 {
+            let (x, y) = (dense.s[k], rand.s[k]);
+            assert!((x - y).abs() <= 1e-8 * scale, "σ{k}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn truncates_to_requested_rank() {
+        let a = low_rank(20, 20, 6);
+        let svd = randomized_svd(&a, 2, &RandomizedSvdOptions::default()).unwrap();
+        assert_eq!(svd.k(), 2);
+        assert_eq!(svd.u.shape(), (20, 2));
+        assert_eq!(svd.v.shape(), (20, 2));
+    }
+
+    #[test]
+    fn rank_one_plus_noise_dominant_direction() {
+        let mut a = Mat::outer(
+            &(0..30).map(|i| 1.0 + (i % 3) as f64).collect::<Vec<_>>(),
+            &(0..50).map(|j| 2.0 + (j % 5) as f64).collect::<Vec<_>>(),
+        );
+        // Tiny deterministic perturbation.
+        for i in 0..30 {
+            for j in 0..50 {
+                a[(i, j)] += 1e-6 * gaussian(7, (i * 50 + j) as u64);
+            }
+        }
+        let svd = randomized_svd(&a, 1, &RandomizedSvdOptions::default()).unwrap();
+        let back = svd.reconstruct().unwrap();
+        let err = fro_norm(&back.sub(&a).unwrap()) / fro_norm(&a);
+        assert!(err < 1e-4, "rank-1 approximation error {err}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = low_rank(15, 18, 4);
+        let o = RandomizedSvdOptions::default();
+        let s1 = randomized_svd(&a, 4, &o).unwrap();
+        let s2 = randomized_svd(&a, 4, &o).unwrap();
+        assert_eq!(s1.s, s2.s);
+    }
+
+    #[test]
+    fn empty_and_zero_k_rejected() {
+        let a = low_rank(5, 5, 1);
+        assert!(matches!(
+            randomized_svd(&a, 0, &RandomizedSvdOptions::default()),
+            Err(LinalgError::Empty)
+        ));
+        assert!(matches!(
+            randomized_svd(&Mat::zeros(0, 3), 2, &RandomizedSvdOptions::default()),
+            Err(LinalgError::Empty)
+        ));
+    }
+}

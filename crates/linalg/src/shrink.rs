@@ -1,0 +1,137 @@
+//! Proximal (shrinkage) operators used by RPCA.
+//!
+//! * [`soft_threshold`] — the proximal operator of `τ‖·‖₁`: shrink every
+//!   entry toward zero by `τ`, clamping at zero.
+//! * [`svt`] — singular-value thresholding, the proximal operator of
+//!   `τ‖·‖*` (nuclear norm): soft-threshold the singular values.
+
+use crate::svd::svd_trunc;
+use crate::{Mat, Result};
+
+/// Elementwise soft-thresholding: `sign(x) · max(|x| − tau, 0)`.
+pub fn soft_threshold(m: &Mat, tau: f64) -> Mat {
+    m.map(|x| shrink_scalar(x, tau))
+}
+
+/// In-place variant of [`soft_threshold`].
+pub fn soft_threshold_into(m: &mut Mat, tau: f64) {
+    for x in m.as_mut_slice() {
+        *x = shrink_scalar(*x, tau);
+    }
+}
+
+#[inline]
+fn shrink_scalar(x: f64, tau: f64) -> f64 {
+    if x > tau {
+        x - tau
+    } else if x < -tau {
+        x + tau
+    } else {
+        0.0
+    }
+}
+
+/// Result of a singular-value thresholding step.
+#[derive(Debug, Clone)]
+pub struct SvtResult {
+    /// The thresholded matrix `U (Σ − τ)₊ Vᵀ`.
+    pub mat: Mat,
+    /// Rank after thresholding (number of surviving singular values).
+    pub rank: usize,
+    /// Nuclear norm of the result.
+    pub nuclear: f64,
+}
+
+/// Singular-value thresholding: `D_τ(A) = U (Σ − τI)₊ Vᵀ`.
+///
+/// Only singular triplets with `σ > τ` are computed (the truncated SVD never
+/// materializes the rest), which is what keeps RPCA iterations cheap on wide
+/// matrices whose low-rank part has tiny rank.
+pub fn svt(a: &Mat, tau: f64) -> Result<SvtResult> {
+    let svd = svd_trunc(a, tau)?;
+    let shrunk: Vec<f64> = svd.s.iter().map(|&s| s - tau).collect();
+    let rank = shrunk.len();
+    let nuclear = shrunk.iter().sum();
+    if rank == 0 {
+        return Ok(SvtResult {
+            mat: Mat::zeros(a.rows(), a.cols()),
+            rank: 0,
+            nuclear: 0.0,
+        });
+    }
+    // U diag(shrunk) Vᵀ
+    let mut us = svd.u.clone();
+    for i in 0..us.rows() {
+        for (v, &s) in us.row_mut(i).iter_mut().zip(shrunk.iter()) {
+            *v *= s;
+        }
+    }
+    let mat = us.matmul(&svd.v.transpose())?;
+    Ok(SvtResult { mat, rank, nuclear })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norms::fro_norm;
+
+    #[test]
+    fn soft_threshold_scalar_cases() {
+        let m = Mat::from_rows(&[&[3.0, -3.0, 0.5, -0.5, 0.0]]);
+        let s = soft_threshold(&m, 1.0);
+        assert_eq!(s.as_slice(), &[2.0, -2.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn soft_threshold_zero_tau_is_identity() {
+        let m = Mat::from_rows(&[&[1.0, -2.0], &[0.0, 4.0]]);
+        assert_eq!(soft_threshold(&m, 0.0), m);
+    }
+
+    #[test]
+    fn soft_threshold_into_matches() {
+        let m = Mat::from_rows(&[&[3.0, -0.2], &[1.5, -9.0]]);
+        let mut m2 = m.clone();
+        soft_threshold_into(&mut m2, 1.0);
+        assert_eq!(m2, soft_threshold(&m, 1.0));
+    }
+
+    #[test]
+    fn svt_diagonal() {
+        let a = Mat::diag(&[5.0, 2.0, 0.5]);
+        let r = svt(&a, 1.0).unwrap();
+        assert_eq!(r.rank, 2);
+        assert!((r.mat[(0, 0)] - 4.0).abs() < 1e-9);
+        assert!((r.mat[(1, 1)] - 1.0).abs() < 1e-9);
+        assert!(r.mat[(2, 2)].abs() < 1e-9);
+        assert!((r.nuclear - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn svt_kills_everything_with_huge_tau() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let r = svt(&a, 1e6).unwrap();
+        assert_eq!(r.rank, 0);
+        assert_eq!(fro_norm(&r.mat), 0.0);
+    }
+
+    #[test]
+    fn svt_shrinks_nuclear_norm() {
+        let a = Mat::from_rows(&[&[4.0, 1.0], &[2.0, 3.0]]);
+        let before = crate::svd::svd_thin(&a).unwrap().nuclear_norm();
+        let r = svt(&a, 0.5).unwrap();
+        assert!(r.nuclear < before);
+    }
+
+    #[test]
+    fn svt_preserves_rank_one_direction() {
+        let a = Mat::outer(&[1.0, 1.0, 1.0], &[2.0, 2.0, 2.0]);
+        let r = svt(&a, 0.1).unwrap();
+        assert_eq!(r.rank, 1);
+        // Result is still (approximately) constant.
+        let vals = r.mat.as_slice();
+        for v in vals {
+            assert!((v - vals[0]).abs() < 1e-9);
+        }
+    }
+}

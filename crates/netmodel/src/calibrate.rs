@@ -1,0 +1,287 @@
+//! The calibration protocol (paper §IV-B).
+//!
+//! Calibrating each of the `N(N−1)` directed links one by one costs too
+//! much; the paper instead schedules rounds of `N/2` disjoint pairs so the
+//! whole matrix is covered in `≈ 2N` rounds. The schedule is the classic
+//! round-robin tournament (circle method): `N−1` rounds cover all unordered
+//! pairs once with every instance busy in every round; each unordered round
+//! is played twice — once per direction — giving `2(N−1)` rounds.
+//!
+//! Each pair is probed with a 1-byte message (latency α) and an 8 MB
+//! message (bandwidth β), exactly the SKaMPI `Pingpong_Send_Recv` recipe
+//! the paper uses.
+
+use crate::alpha_beta::LinkPerf;
+use crate::perf_matrix::PerfMatrix;
+use crate::tp_matrix::TpMatrix;
+use crate::{NetworkProbe, ALPHA_PROBE_BYTES, BETA_PROBE_BYTES};
+use serde::{Deserialize, Serialize};
+
+/// Round-robin (circle method) schedule of directed probe rounds.
+///
+/// Returns `2(N−1)` rounds for even `N` (`2N` for odd `N`, one instance
+/// idle per round); every round holds `⌊N/2⌋` disjoint `(sender, receiver)`
+/// pairs and the union over rounds is every ordered pair exactly once.
+pub fn pairing_rounds(n: usize) -> Vec<Vec<(usize, usize)>> {
+    if n < 2 {
+        return Vec::new();
+    }
+    // Circle method on m slots (m even); slot m-1 is a bye when n is odd.
+    let m = if n % 2 == 0 { n } else { n + 1 };
+    let mut ring: Vec<usize> = (0..m).collect();
+    let mut rounds = Vec::with_capacity(2 * (m - 1));
+    for _ in 0..(m - 1) {
+        let mut fwd = Vec::with_capacity(n / 2);
+        let mut rev = Vec::with_capacity(n / 2);
+        for k in 0..m / 2 {
+            let a = ring[k];
+            let b = ring[m - 1 - k];
+            if a < n && b < n {
+                fwd.push((a, b));
+                rev.push((b, a));
+            }
+        }
+        rounds.push(fwd);
+        rounds.push(rev);
+        // Rotate all but the first element.
+        ring[1..].rotate_right(1);
+    }
+    rounds
+}
+
+/// Configuration of the calibration protocol.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CalibrationConfig {
+    /// Probe size for latency (paper: 1 byte).
+    pub small_bytes: u64,
+    /// Probe size for bandwidth (paper: 8 MB).
+    pub large_bytes: u64,
+    /// When true, use the `N/2`-concurrent-pairs schedule; when false,
+    /// probe links one at a time (the ablation baseline with `O(N²)` cost).
+    pub concurrent: bool,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        CalibrationConfig {
+            small_bytes: ALPHA_PROBE_BYTES,
+            large_bytes: BETA_PROBE_BYTES,
+            concurrent: true,
+        }
+    }
+}
+
+/// Outcome of one all-link calibration.
+#[derive(Debug, Clone)]
+pub struct CalibrationRun {
+    /// The measured all-link snapshot.
+    pub perf: PerfMatrix,
+    /// Wall time the calibration occupied on the (simulated) network: the
+    /// per-round maxima summed over rounds.
+    pub overhead: f64,
+    /// Number of probe rounds executed.
+    pub rounds: usize,
+}
+
+/// Drives a [`NetworkProbe`] through the calibration protocol.
+#[derive(Debug, Clone, Default)]
+pub struct Calibrator {
+    /// Protocol parameters.
+    pub config: CalibrationConfig,
+}
+
+impl Calibrator {
+    /// Calibrator with the paper's defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Measure the full all-link performance matrix starting at `now`.
+    pub fn calibrate<P: NetworkProbe>(&self, probe: &mut P, now: f64) -> CalibrationRun {
+        let n = probe.n();
+        let mut perf = PerfMatrix::ideal(n);
+        let mut clock = now;
+        let mut rounds = 0;
+
+        let run_round = |probe: &mut P,
+                             pairs: &[(usize, usize)],
+                             clock: &mut f64,
+                             perf: &mut PerfMatrix| {
+            // Latency probes first, then bandwidth probes, each phase
+            // advancing the clock by the slowest member of the round.
+            let t_small = probe.probe_concurrent(pairs, self.config.small_bytes, *clock);
+            *clock += t_small.iter().cloned().fold(0.0, f64::max);
+            let t_large = probe.probe_concurrent(pairs, self.config.large_bytes, *clock);
+            *clock += t_large.iter().cloned().fold(0.0, f64::max);
+            for (k, &(i, j)) in pairs.iter().enumerate() {
+                perf.set(
+                    i,
+                    j,
+                    LinkPerf::fit(
+                        self.config.small_bytes,
+                        t_small[k],
+                        self.config.large_bytes,
+                        t_large[k],
+                    ),
+                );
+            }
+        };
+
+        if self.config.concurrent {
+            for pairs in pairing_rounds(n) {
+                run_round(probe, &pairs, &mut clock, &mut perf);
+                rounds += 1;
+            }
+        } else {
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j {
+                        run_round(probe, &[(i, j)], &mut clock, &mut perf);
+                        rounds += 1;
+                    }
+                }
+            }
+        }
+
+        CalibrationRun {
+            perf,
+            overhead: clock - now,
+            rounds,
+        }
+    }
+
+    /// Build a TP-matrix of `steps` snapshots, one every `interval` seconds
+    /// starting at `start`. Returns the TP-matrix and the total calibration
+    /// overhead (time the probes occupied the network).
+    pub fn calibrate_tp<P: NetworkProbe>(
+        &self,
+        probe: &mut P,
+        start: f64,
+        interval: f64,
+        steps: usize,
+    ) -> (TpMatrix, f64) {
+        let n = probe.n();
+        let mut tp = TpMatrix::new(n);
+        let mut total = 0.0;
+        for k in 0..steps {
+            let t = start + k as f64 * interval;
+            let run = self.calibrate(probe, t);
+            total += run.overhead;
+            tp.push(t, &run.perf);
+        }
+        (tp, total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn rounds_cover_all_ordered_pairs_exactly_once() {
+        for n in [2usize, 3, 4, 5, 8, 9, 16] {
+            let rounds = pairing_rounds(n);
+            let mut seen = HashSet::new();
+            for round in &rounds {
+                let mut busy = HashSet::new();
+                for &(a, b) in round {
+                    assert_ne!(a, b);
+                    assert!(a < n && b < n);
+                    // Disjointness within a round.
+                    assert!(busy.insert(a), "n={n}: {a} busy twice in a round");
+                    assert!(busy.insert(b), "n={n}: {b} busy twice in a round");
+                    assert!(seen.insert((a, b)), "n={n}: pair ({a},{b}) repeated");
+                }
+            }
+            assert_eq!(seen.len(), n * (n - 1), "n={n}: missing pairs");
+        }
+    }
+
+    #[test]
+    fn round_count_is_linear() {
+        assert_eq!(pairing_rounds(8).len(), 14); // 2(N-1)
+        assert_eq!(pairing_rounds(9).len(), 18); // odd: 2N
+        assert!(pairing_rounds(1).is_empty());
+        assert!(pairing_rounds(0).is_empty());
+    }
+
+    #[test]
+    fn rounds_are_half_n_wide() {
+        let rounds = pairing_rounds(8);
+        for r in &rounds {
+            assert_eq!(r.len(), 4);
+        }
+    }
+
+    /// A probe with known α-β parameters per link.
+    struct ModelProbe(PerfMatrix);
+    impl NetworkProbe for ModelProbe {
+        fn n(&self) -> usize {
+            self.0.n()
+        }
+        fn probe(&mut self, i: usize, j: usize, bytes: u64, _now: f64) -> f64 {
+            self.0.transfer_time(i, j, bytes)
+        }
+    }
+
+    #[test]
+    fn calibration_recovers_model() {
+        let truth = PerfMatrix::from_fn(6, |i, j| {
+            LinkPerf::new(1e-4 * (1 + i) as f64, 1e8 * (1 + j) as f64)
+        });
+        let mut probe = ModelProbe(truth.clone());
+        let run = Calibrator::new().calibrate(&mut probe, 0.0);
+        for i in 0..6 {
+            for j in 0..6 {
+                if i == j {
+                    continue;
+                }
+                let a = truth.link(i, j);
+                let b = run.perf.link(i, j);
+                assert!((a.alpha - b.alpha).abs() / a.alpha < 1e-3);
+                assert!((a.beta - b.beta).abs() / a.beta < 1e-3, "({i},{j})");
+            }
+        }
+        assert!(run.overhead > 0.0);
+        assert_eq!(run.rounds, 10); // 2(6-1)
+    }
+
+    #[test]
+    fn sequential_mode_probes_one_by_one() {
+        let truth = PerfMatrix::from_fn(4, |_, _| LinkPerf::new(1e-4, 1e9));
+        let mut probe = ModelProbe(truth);
+        let cal = Calibrator {
+            config: CalibrationConfig {
+                concurrent: false,
+                ..Default::default()
+            },
+        };
+        let run = cal.calibrate(&mut probe, 0.0);
+        assert_eq!(run.rounds, 12); // N(N-1)
+    }
+
+    #[test]
+    fn sequential_overhead_exceeds_concurrent() {
+        let truth = PerfMatrix::from_fn(8, |_, _| LinkPerf::new(1e-3, 1e8));
+        let concurrent = Calibrator::new().calibrate(&mut ModelProbe(truth.clone()), 0.0);
+        let sequential = Calibrator {
+            config: CalibrationConfig {
+                concurrent: false,
+                ..Default::default()
+            },
+        }
+        .calibrate(&mut ModelProbe(truth), 0.0);
+        assert!(sequential.overhead > concurrent.overhead);
+    }
+
+    #[test]
+    fn calibrate_tp_stacks_snapshots() {
+        let truth = PerfMatrix::from_fn(4, |_, _| LinkPerf::new(1e-4, 1e9));
+        let mut probe = ModelProbe(truth);
+        let (tp, total) = Calibrator::new().calibrate_tp(&mut probe, 100.0, 60.0, 5);
+        assert_eq!(tp.steps(), 5);
+        assert_eq!(tp.times(), &[100.0, 160.0, 220.0, 280.0, 340.0]);
+        assert!(total > 0.0);
+    }
+}

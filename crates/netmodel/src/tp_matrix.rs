@@ -1,0 +1,191 @@
+//! Temporal performance matrices (paper §III).
+
+use crate::perf_matrix::PerfMatrix;
+use cloudconst_linalg::Mat;
+use serde::{Deserialize, Serialize};
+
+/// The temporal performance matrix `N_A[T₀, T₁]`.
+///
+/// Each calibration produces one [`PerfMatrix`]; its `N × N` latency and
+/// inverse-bandwidth matrices are flattened row-wise into `N²`-dimensional
+/// vectors and stacked by measurement time, yielding two `steps × N²`
+/// matrices. RPCA is run on each independently; the paper's figures use the
+/// combined transfer-time view, which is a linear combination of the two.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TpMatrix {
+    n: usize,
+    times: Vec<f64>,
+    alpha: Mat,
+    inv_beta: Mat,
+}
+
+impl TpMatrix {
+    /// Empty TP-matrix for a cluster of `n` instances.
+    pub fn new(n: usize) -> Self {
+        TpMatrix {
+            n,
+            times: Vec::new(),
+            alpha: Mat::zeros(0, n * n),
+            inv_beta: Mat::zeros(0, n * n),
+        }
+    }
+
+    /// Build from timestamped snapshots. Panics if any snapshot's size
+    /// disagrees or timestamps decrease.
+    pub fn from_snapshots(n: usize, snaps: &[(f64, PerfMatrix)]) -> Self {
+        let mut tp = TpMatrix::new(n);
+        for (t, pm) in snaps {
+            tp.push(*t, pm);
+        }
+        tp
+    }
+
+    /// Append one calibration snapshot.
+    pub fn push(&mut self, time: f64, pm: &PerfMatrix) {
+        assert_eq!(pm.n(), self.n, "snapshot size mismatch");
+        if let Some(&last) = self.times.last() {
+            assert!(time >= last, "snapshots must be time-ordered");
+        }
+        let (af, bf) = pm.flatten();
+        let arow = Mat::from_vec(1, self.n * self.n, af);
+        let brow = Mat::from_vec(1, self.n * self.n, bf);
+        self.alpha = Mat::vstack(&[&self.alpha, &arow]).expect("column count fixed");
+        self.inv_beta = Mat::vstack(&[&self.inv_beta, &brow]).expect("column count fixed");
+        self.times.push(time);
+    }
+
+    /// Number of instances `N`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of snapshots (the paper's *time step* parameter).
+    #[inline]
+    pub fn steps(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Measurement times.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The `steps × N²` latency matrix (RPCA input).
+    pub fn alpha_matrix(&self) -> &Mat {
+        &self.alpha
+    }
+
+    /// The `steps × N²` inverse-bandwidth matrix (RPCA input).
+    pub fn inv_beta_matrix(&self) -> &Mat {
+        &self.inv_beta
+    }
+
+    /// Combined transfer-time matrix at a message size: `α + bytes · β⁻¹`
+    /// per entry. This is the single-number-per-link view of Fig. 2.
+    pub fn weight_matrix(&self, bytes: u64) -> Mat {
+        self.alpha
+            .zip_with(&self.inv_beta, "tp-weights", |a, ib| a + bytes as f64 * ib)
+            .expect("shapes equal by construction")
+    }
+
+    /// Reconstruct snapshot `k` as a [`PerfMatrix`].
+    pub fn snapshot(&self, k: usize) -> PerfMatrix {
+        PerfMatrix::from_flat(self.n, self.alpha.row(k), self.inv_beta.row(k))
+    }
+
+    /// The first `k` snapshots as a new TP-matrix (used in the time-step
+    /// accuracy study, Fig. 5).
+    pub fn prefix(&self, k: usize) -> TpMatrix {
+        let k = k.min(self.steps());
+        let mut tp = TpMatrix::new(self.n);
+        for i in 0..k {
+            tp.push(self.times[i], &self.snapshot(i));
+        }
+        tp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alpha_beta::LinkPerf;
+
+    fn pm(n: usize, scale: f64) -> PerfMatrix {
+        PerfMatrix::from_fn(n, |i, j| {
+            LinkPerf::new(scale * (1 + i + j) as f64 * 1e-4, 1e8 / scale)
+        })
+    }
+
+    #[test]
+    fn shape_matches_paper_layout() {
+        let mut tp = TpMatrix::new(3);
+        tp.push(0.0, &pm(3, 1.0));
+        tp.push(1.0, &pm(3, 2.0));
+        assert_eq!(tp.steps(), 2);
+        assert_eq!(tp.alpha_matrix().shape(), (2, 9));
+        assert_eq!(tp.inv_beta_matrix().shape(), (2, 9));
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let original = pm(4, 1.5);
+        let mut tp = TpMatrix::new(4);
+        tp.push(0.0, &original);
+        let back = tp.snapshot(0);
+        for i in 0..4 {
+            for j in 0..4 {
+                let a = original.transfer_time(i, j, 12345);
+                let b = back.transfer_time(i, j, 12345);
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn unordered_times_panic() {
+        let mut tp = TpMatrix::new(2);
+        tp.push(5.0, &pm(2, 1.0));
+        tp.push(1.0, &pm(2, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn wrong_size_panics() {
+        let mut tp = TpMatrix::new(2);
+        tp.push(0.0, &pm(3, 1.0));
+    }
+
+    #[test]
+    fn weight_matrix_combines_alpha_beta() {
+        let mut p = PerfMatrix::ideal(2);
+        p.set(0, 1, LinkPerf::new(0.25, 1000.0));
+        let mut tp = TpMatrix::new(2);
+        tp.push(0.0, &p);
+        let w = tp.weight_matrix(500);
+        // Column layout: (0,0) (0,1) (1,0) (1,1).
+        assert!((w[(0, 1)] - 0.75).abs() < 1e-12);
+        assert_eq!(w[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn prefix_truncates() {
+        let mut tp = TpMatrix::new(2);
+        for k in 0..5 {
+            tp.push(k as f64, &pm(2, (k + 1) as f64));
+        }
+        let pre = tp.prefix(3);
+        assert_eq!(pre.steps(), 3);
+        assert_eq!(pre.times(), &[0.0, 1.0, 2.0]);
+        // Oversized prefix is the whole matrix.
+        assert_eq!(tp.prefix(99).steps(), 5);
+    }
+
+    #[test]
+    fn from_snapshots_builder() {
+        let snaps = vec![(0.0, pm(2, 1.0)), (10.0, pm(2, 2.0))];
+        let tp = TpMatrix::from_snapshots(2, &snaps);
+        assert_eq!(tp.steps(), 2);
+    }
+}

@@ -1,0 +1,181 @@
+//! Recorded network-performance traces and trace replay (paper §V-D3).
+//!
+//! The paper's repeatable-experiment methodology records week-long
+//! calibration traces from EC2 and replays them to estimate application
+//! performance under controlled settings. [`NetTrace`] is that artifact:
+//! timestamped [`PerfMatrix`] samples with JSON (de)serialization and
+//! nearest-sample replay.
+
+use crate::perf_matrix::PerfMatrix;
+use crate::tp_matrix::TpMatrix;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+/// One timestamped all-link measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSample {
+    /// Measurement time in seconds since the trace epoch.
+    pub time: f64,
+    /// The all-link snapshot.
+    pub perf: PerfMatrix,
+}
+
+/// A time-ordered sequence of all-link measurements for one virtual
+/// cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetTrace {
+    n: usize,
+    samples: Vec<TraceSample>,
+}
+
+impl NetTrace {
+    /// Empty trace for a cluster of `n` instances.
+    pub fn new(n: usize) -> Self {
+        NetTrace {
+            n,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Cluster size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// All samples in time order.
+    pub fn samples(&self) -> &[TraceSample] {
+        &self.samples
+    }
+
+    /// Append a sample; panics if out of time order or wrong cluster size.
+    pub fn record(&mut self, time: f64, perf: PerfMatrix) {
+        assert_eq!(perf.n(), self.n, "sample size mismatch");
+        if let Some(last) = self.samples.last() {
+            assert!(time >= last.time, "samples must be time-ordered");
+        }
+        self.samples.push(TraceSample { time, perf });
+    }
+
+    /// Replay: the sample nearest to `time` (ties resolve to the earlier
+    /// one). Returns `None` on an empty trace.
+    pub fn at(&self, time: f64) -> Option<&PerfMatrix> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let idx = match self
+            .samples
+            .binary_search_by(|s| s.time.partial_cmp(&time).unwrap())
+        {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) if i == self.samples.len() => i - 1,
+            Err(i) => {
+                let before = time - self.samples[i - 1].time;
+                let after = self.samples[i].time - time;
+                if after < before {
+                    i
+                } else {
+                    i - 1
+                }
+            }
+        };
+        Some(&self.samples[idx].perf)
+    }
+
+    /// Samples within `[t0, t1]`, as a [`TpMatrix`] (the paper's
+    /// `N_A[T₀, T₁]`).
+    pub fn window(&self, t0: f64, t1: f64) -> TpMatrix {
+        let mut tp = TpMatrix::new(self.n);
+        for s in &self.samples {
+            if s.time >= t0 && s.time <= t1 {
+                tp.push(s.time, &s.perf);
+            }
+        }
+        tp
+    }
+
+    /// Whole trace as a [`TpMatrix`].
+    pub fn to_tp_matrix(&self) -> TpMatrix {
+        self.window(f64::NEG_INFINITY, f64::INFINITY)
+    }
+
+    /// Serialize as JSON to any writer.
+    pub fn save<W: Write>(&self, w: W) -> std::io::Result<()> {
+        serde_json::to_writer(w, self).map_err(std::io::Error::other)
+    }
+
+    /// Deserialize from a JSON reader.
+    pub fn load<R: Read>(r: R) -> std::io::Result<Self> {
+        serde_json::from_reader(r).map_err(std::io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alpha_beta::LinkPerf;
+
+    fn pm(n: usize, alpha: f64) -> PerfMatrix {
+        PerfMatrix::from_fn(n, |_, _| LinkPerf::new(alpha, 1e8))
+    }
+
+    fn sample_trace() -> NetTrace {
+        let mut t = NetTrace::new(2);
+        t.record(0.0, pm(2, 0.001));
+        t.record(10.0, pm(2, 0.002));
+        t.record(20.0, pm(2, 0.003));
+        t
+    }
+
+    #[test]
+    fn replay_nearest() {
+        let t = sample_trace();
+        assert!((t.at(0.0).unwrap().link(0, 1).alpha - 0.001).abs() < 1e-12);
+        assert!((t.at(4.0).unwrap().link(0, 1).alpha - 0.001).abs() < 1e-12);
+        assert!((t.at(6.0).unwrap().link(0, 1).alpha - 0.002).abs() < 1e-12);
+        assert!((t.at(999.0).unwrap().link(0, 1).alpha - 0.003).abs() < 1e-12);
+        assert!((t.at(-5.0).unwrap().link(0, 1).alpha - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_has_no_samples() {
+        let t = NetTrace::new(4);
+        assert!(t.is_empty());
+        assert!(t.at(0.0).is_none());
+    }
+
+    #[test]
+    fn window_selects_range() {
+        let t = sample_trace();
+        let tp = t.window(5.0, 20.0);
+        assert_eq!(tp.steps(), 2);
+        assert_eq!(tp.times(), &[10.0, 20.0]);
+        assert_eq!(t.to_tp_matrix().steps(), 3);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.save(&mut buf).unwrap();
+        let t2 = NetTrace::load(buf.as_slice()).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_record_panics() {
+        let mut t = sample_trace();
+        t.record(5.0, pm(2, 0.001));
+    }
+}

@@ -1,0 +1,100 @@
+//! The paper's effectiveness metrics.
+//!
+//! * `Norm(N_E) = ‖N_E‖₀ / ‖N_A‖₀` (paper §IV-A) — how much of the observed
+//!   performance is *not* explained by the constant component; predicts
+//!   whether network-performance-aware optimization is worth doing
+//!   (≲0.1 ⇒ very effective, ≳0.5 ⇒ marginal).
+//! * `Norm(P_D) = ‖P_D − P'_D‖₀ / ‖P'_D‖₀` (paper §V-C) — relative
+//!   difference between a constant row estimated from a truncated
+//!   calibration window and the oracle constant row from the full window;
+//!   used to pick the time step.
+
+use cloudconst_linalg::{l1_norm, zero_norm_frac, Mat};
+
+/// Relative threshold that separates "numerically zero" from "error" when
+/// counting `‖·‖₀`. Chosen as 1% of the largest entry of the reference
+/// matrix: network performance errors below 1% of scale are irrelevant to
+/// link selection.
+pub const ZERO_NORM_REL_TOL: f64 = 0.01;
+
+/// The paper's `Norm(N_E)`: fraction of entries of the error matrix that
+/// are significant relative to the data matrix (thresholded ‖·‖₀).
+/// Result lies in `[0, +)`, practically `[0, 1]`.
+pub fn norm_ne(n_e: &Mat, n_a: &Mat) -> f64 {
+    zero_norm_frac(n_e, n_a, ZERO_NORM_REL_TOL)
+}
+
+/// ℓ₁ variant of [`norm_ne`] — continuous, better suited for trend plots
+/// (Figures 10 and 12 in the paper sweep it smoothly).
+pub fn norm_ne_l1(n_e: &Mat, n_a: &Mat) -> f64 {
+    let denom = l1_norm(n_a);
+    if denom == 0.0 {
+        0.0
+    } else {
+        l1_norm(n_e) / denom
+    }
+}
+
+/// The paper's `Norm(P_D)`: relative difference between an estimated
+/// constant row `p_d` and the oracle `p_d_oracle`, measured in ℓ₁ (the
+/// thresholded-count form degenerates for vectors, and the paper's usage —
+/// "difference within 10%" — is a relative-magnitude statement).
+pub fn relative_difference(p_d: &[f64], p_d_oracle: &[f64]) -> f64 {
+    assert_eq!(p_d.len(), p_d_oracle.len(), "length mismatch");
+    let denom: f64 = p_d_oracle.iter().map(|v| v.abs()).sum();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    let num: f64 = p_d
+        .iter()
+        .zip(p_d_oracle.iter())
+        .map(|(a, b)| (a - b).abs())
+        .sum();
+    num / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_ne_zero_for_clean() {
+        let a = Mat::full(3, 3, 10.0);
+        let e = Mat::zeros(3, 3);
+        assert_eq!(norm_ne(&e, &a), 0.0);
+    }
+
+    #[test]
+    fn norm_ne_counts_significant_entries() {
+        let a = Mat::full(2, 2, 100.0);
+        let mut e = Mat::zeros(2, 2);
+        e[(0, 0)] = 50.0; // 50% of scale: counts
+        e[(1, 1)] = 0.5; // 0.5% of scale: below 1% threshold, ignored
+        assert!((norm_ne(&e, &a) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm_ne_l1_ratio() {
+        let a = Mat::full(2, 2, 10.0);
+        let e = Mat::full(2, 2, 1.0);
+        assert!((norm_ne_l1(&e, &a) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_difference_basics() {
+        assert_eq!(relative_difference(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        let d = relative_difference(&[1.1, 2.2], &[1.0, 2.0]);
+        assert!((d - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_difference_zero_oracle() {
+        assert_eq!(relative_difference(&[1.0], &[0.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn relative_difference_length_mismatch_panics() {
+        relative_difference(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Link utilization accounting.
+//!
+//! Experiments that tune background traffic (Fig. 12/13) need to know how
+//! loaded the fabric actually is — "λ = 2 s, 100 MB" means nothing without
+//! the resulting core-link utilization. [`UtilizationProbe`] samples the
+//! instantaneous per-link throughput of a simulator and accumulates
+//! time-weighted averages.
+
+use crate::engine::Simulator;
+use crate::topology::LinkId;
+
+/// Time-weighted link utilization accumulator.
+///
+/// Drive it manually: call [`UtilizationProbe::sample`] at (simulated)
+/// times of your choosing; each sample charges the *current* instantaneous
+/// load for the interval since the previous sample (left Riemann sum).
+#[derive(Debug, Clone)]
+pub struct UtilizationProbe {
+    last_time: f64,
+    /// Σ load(t)·dt per link, in bytes.
+    byte_time: Vec<f64>,
+    elapsed: f64,
+}
+
+impl UtilizationProbe {
+    /// New probe anchored at the simulator's current time.
+    pub fn new(sim: &Simulator) -> Self {
+        UtilizationProbe {
+            last_time: sim.time(),
+            byte_time: vec![0.0; sim.topology().link_count()],
+            elapsed: 0.0,
+        }
+    }
+
+    /// Record the instantaneous load over the interval since the last
+    /// sample. Call after advancing the simulator.
+    pub fn sample(&mut self, sim: &Simulator) {
+        let now = sim.time();
+        let dt = now - self.last_time;
+        if dt <= 0.0 {
+            return;
+        }
+        for (l, rate) in sim.link_loads().into_iter().enumerate() {
+            self.byte_time[l] += rate * dt;
+        }
+        self.last_time = now;
+        self.elapsed += dt;
+    }
+
+    /// Average utilization of a link over the sampled window, in `[0, 1]`.
+    pub fn utilization(&self, sim: &Simulator, link: LinkId) -> f64 {
+        if self.elapsed <= 0.0 {
+            return 0.0;
+        }
+        let cap = sim.topology().link(link).capacity;
+        (self.byte_time[link] / self.elapsed / cap).clamp(0.0, 1.0)
+    }
+
+    /// Mean utilization over a set of links (e.g. all core uplinks).
+    pub fn mean_utilization(&self, sim: &Simulator, links: &[LinkId]) -> f64 {
+        if links.is_empty() {
+            return 0.0;
+        }
+        links.iter().map(|&l| self.utilization(sim, l)).sum::<f64>() / links.len() as f64
+    }
+
+    /// Total sampled window in simulated seconds.
+    pub fn elapsed(&self) -> f64 {
+        self.elapsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{LinkSpec, Topology};
+
+    fn topo() -> Topology {
+        Topology::tree(
+            2,
+            2,
+            LinkSpec {
+                capacity: 100.0,
+                latency: 0.0,
+            },
+            LinkSpec {
+                capacity: 1000.0,
+                latency: 0.0,
+            },
+        )
+    }
+
+    #[test]
+    fn idle_network_zero_utilization() {
+        let mut sim = Simulator::new(topo(), 1);
+        let mut probe = UtilizationProbe::new(&sim);
+        sim.run_until(10.0);
+        probe.sample(&sim);
+        for l in 0..sim.topology().link_count() {
+            assert_eq!(probe.utilization(&sim, l), 0.0);
+        }
+        assert_eq!(probe.elapsed(), 10.0);
+    }
+
+    #[test]
+    fn single_flow_saturates_its_path() {
+        let mut sim = Simulator::new(topo(), 1);
+        // 1000 bytes at 100 B/s: busy for 10 s.
+        let f = sim.submit(0, 1, 1000, 0.0);
+        let mut probe = UtilizationProbe::new(&sim);
+        // Sample densely while the flow runs.
+        for k in 1..=10 {
+            sim.run_until(k as f64);
+            probe.sample(&sim);
+        }
+        sim.wait_for(&[f]);
+        // host 0 up (link 0) carried 100 B/s over the whole window.
+        let u = probe.utilization(&sim, 0);
+        assert!((u - 1.0).abs() < 0.11, "utilization {u}");
+        // An untouched link stays idle.
+        let u_idle = probe.utilization(&sim, 4); // host 2 up
+        assert_eq!(u_idle, 0.0);
+    }
+
+    #[test]
+    fn mean_over_links() {
+        let mut sim = Simulator::new(topo(), 1);
+        let _f = sim.submit(0, 1, 10_000, 0.0);
+        let mut probe = UtilizationProbe::new(&sim);
+        sim.run_until(5.0);
+        probe.sample(&sim);
+        let m = probe.mean_utilization(&sim, &[0, 4]);
+        assert!(m > 0.4 && m < 0.6, "mean {m}"); // one busy, one idle
+        assert_eq!(probe.mean_utilization(&sim, &[]), 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests of the flow simulator's physical invariants.
+
+use cloudconst_simnet::fairshare::max_min_rates;
+use cloudconst_simnet::{LinkSpec, Simulator, Topology};
+use proptest::prelude::*;
+
+fn topo_strategy() -> impl Strategy<Value = Topology> {
+    (1usize..5, 2usize..6, 10.0f64..1000.0, 50.0f64..5000.0).prop_map(
+        |(racks, hosts, host_cap, core_cap)| {
+            Topology::tree(
+                racks,
+                hosts,
+                LinkSpec {
+                    capacity: host_cap,
+                    latency: 1e-4,
+                },
+                LinkSpec {
+                    capacity: core_cap,
+                    latency: 2e-4,
+                },
+            )
+        },
+    )
+}
+
+fn flows_strategy() -> impl Strategy<Value = (Topology, Vec<(usize, usize)>)> {
+    topo_strategy().prop_flat_map(|t| {
+        let hosts = t.hosts();
+        proptest::collection::vec((0..hosts, 0..hosts), 1..12)
+            .prop_map(move |pairs| {
+                let pairs: Vec<(usize, usize)> = pairs
+                    .into_iter()
+                    .map(|(a, b)| if a == b { (a, (b + 1) % hosts) } else { (a, b) })
+                    .collect();
+                (t.clone(), pairs)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn max_min_never_oversubscribes((topo, pairs) in flows_strategy()) {
+        let paths: Vec<_> = pairs.iter().map(|&(a, b)| topo.path(a, b)).collect();
+        let rates = max_min_rates(&topo, &paths);
+        let mut load = vec![0.0f64; topo.link_count()];
+        for (f, p) in paths.iter().enumerate() {
+            prop_assert!(rates[f] > 0.0, "flow {f} starved");
+            for &l in p {
+                load[l] += rates[f];
+            }
+        }
+        for l in 0..topo.link_count() {
+            prop_assert!(load[l] <= topo.link(l).capacity * (1.0 + 1e-9), "link {l} overloaded");
+        }
+    }
+
+    #[test]
+    fn max_min_every_flow_sees_a_saturated_link((topo, pairs) in flows_strategy()) {
+        let paths: Vec<_> = pairs.iter().map(|&(a, b)| topo.path(a, b)).collect();
+        let rates = max_min_rates(&topo, &paths);
+        let mut load = vec![0.0f64; topo.link_count()];
+        for (f, p) in paths.iter().enumerate() {
+            for &l in p {
+                load[l] += rates[f];
+            }
+        }
+        for (f, p) in paths.iter().enumerate() {
+            let saturated = p.iter().any(|&l| load[l] >= topo.link(l).capacity * (1.0 - 1e-6));
+            prop_assert!(saturated, "flow {f} crosses no saturated link (not max-min)");
+        }
+    }
+
+    #[test]
+    fn single_flow_gets_bottleneck_throughput((topo, pairs) in flows_strategy()) {
+        let (src, dst) = pairs[0];
+        let mut sim = Simulator::new(topo.clone(), 7);
+        let bytes = 10_000u64;
+        let f = sim.submit(src, dst, bytes, 0.0);
+        let finish = sim.wait_for(&[f])[0];
+        let path = topo.path(src, dst);
+        let expect = bytes as f64 / topo.path_capacity(&path) + topo.path_latency(&path);
+        prop_assert!((finish - expect).abs() <= 1e-6 * expect + 1e-9, "{finish} vs {expect}");
+    }
+
+    #[test]
+    fn flow_conservation_under_concurrency((topo, pairs) in flows_strategy()) {
+        // All flows carry the same bytes; total completion cannot beat the
+        // per-flow physical lower bound.
+        let mut sim = Simulator::new(topo.clone(), 3);
+        let bytes = 5_000u64;
+        let ids: Vec<_> = pairs.iter().map(|&(a, b)| sim.submit(a, b, bytes, 0.0)).collect();
+        let finishes = sim.wait_for(&ids);
+        for (k, &(a, b)) in pairs.iter().enumerate() {
+            let path = topo.path(a, b);
+            let lower = bytes as f64 / topo.path_capacity(&path) + topo.path_latency(&path);
+            prop_assert!(finishes[k] >= lower - 1e-9, "flow {k} finished faster than physics");
+        }
+    }
+
+    #[test]
+    fn time_never_goes_backwards((topo, pairs) in flows_strategy()) {
+        let mut sim = Simulator::new(topo, 9);
+        let mut last = sim.time();
+        for (k, &(a, b)) in pairs.iter().enumerate() {
+            let at = k as f64 * 0.5;
+            sim.run_until(at);
+            prop_assert!(sim.time() >= last);
+            last = sim.time();
+            let f = sim.submit(a, b, 1000, at.max(sim.time()));
+            sim.wait_for(&[f]);
+            prop_assert!(sim.time() >= last);
+            last = sim.time();
+        }
+    }
+}

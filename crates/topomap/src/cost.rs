@@ -1,0 +1,117 @@
+//! Timing a mapping under the single-port α-β model.
+
+use crate::graph::TaskGraph;
+use crate::greedy::Mapping;
+use cloudconst_netmodel::PerfMatrix;
+
+/// Elapsed time of executing the task graph's communication phase under
+/// `mapping`, against the *actual* network `perf`.
+///
+/// All task edges fire concurrently; each machine sends its outgoing
+/// messages serially and receives its incoming messages serially (single
+/// port each way, full duplex). The phase ends when the busiest port
+/// drains, so the elapsed time is the maximum over machines of
+/// max(total send time, total receive time).
+///
+/// Mirrors how the optimizer *hopes* traffic behaves; experiments that
+/// want congestion effects run the same edges on `cloudconst-simnet`
+/// instead.
+pub fn evaluate_mapping(tasks: &TaskGraph, mapping: &Mapping, perf: &PerfMatrix) -> f64 {
+    let n = tasks.n();
+    assert_eq!(n, mapping.n(), "mapping size mismatch");
+    assert_eq!(n, perf.n(), "performance matrix size mismatch");
+
+    let mut send_busy = vec![0.0f64; n];
+    let mut recv_busy = vec![0.0f64; n];
+    for (u, v, bytes) in tasks.edges() {
+        let (mu, mv) = (mapping.machine_of(u), mapping.machine_of(v));
+        let t = perf.transfer_time(mu, mv, bytes.round() as u64);
+        send_busy[mu] += t;
+        recv_busy[mv] += t;
+    }
+    send_busy
+        .iter()
+        .chain(recv_busy.iter())
+        .fold(0.0f64, |acc, &t| acc.max(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::ring_task_graph;
+    use crate::greedy::{greedy_mapping, ring_mapping};
+    use crate::machine_graph_from_perf;
+    use cloudconst_netmodel::LinkPerf;
+
+    #[test]
+    fn single_edge_cost() {
+        let mut tasks = TaskGraph::empty(2);
+        tasks.set(0, 1, 1000.0);
+        let mut perf = PerfMatrix::ideal(2);
+        perf.set(0, 1, LinkPerf::new(0.5, 1000.0));
+        let t = evaluate_mapping(&tasks, &ring_mapping(2), &perf);
+        assert!((t - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serialized_sends_accumulate() {
+        // Task 0 sends to both 1 and 2: its send port serializes.
+        let mut tasks = TaskGraph::empty(3);
+        tasks.set(0, 1, 1000.0);
+        tasks.set(0, 2, 1000.0);
+        let perf = PerfMatrix::uniform(3, LinkPerf::new(0.0, 1000.0));
+        let t = evaluate_mapping(&tasks, &ring_mapping(3), &perf);
+        assert!((t - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn receive_port_also_serializes() {
+        let mut tasks = TaskGraph::empty(3);
+        tasks.set(1, 0, 1000.0);
+        tasks.set(2, 0, 1000.0);
+        let perf = PerfMatrix::uniform(3, LinkPerf::new(0.0, 1000.0));
+        let t = evaluate_mapping(&tasks, &ring_mapping(3), &perf);
+        assert!((t - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_beats_ring_on_heterogeneous_network() {
+        // Machines 0-3: fast clique among {0,1}, {2,3}; slow across.
+        let n = 4;
+        let mut perf = PerfMatrix::ideal(n);
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let same = (a < 2) == (b < 2);
+                let beta = if same { 1e9 } else { 1e7 };
+                perf.set(a, b, LinkPerf::new(1e-4, beta));
+            }
+        }
+        // Tasks 0↔2 and 1↔3 talk heavily — ring mapping puts each pair on
+        // a slow cross-group link; greedy should co-locate them.
+        let mut tasks = TaskGraph::empty(n);
+        tasks.set_sym(0, 2, 50e6);
+        tasks.set_sym(1, 3, 50e6);
+        let machines = machine_graph_from_perf(&perf);
+        let greedy = greedy_mapping(&tasks, &machines);
+        let t_greedy = evaluate_mapping(&tasks, &greedy, &perf);
+        let t_ring = evaluate_mapping(&tasks, &ring_mapping(n), &perf);
+        assert!(
+            t_greedy < t_ring,
+            "greedy {t_greedy} should beat ring {t_ring}"
+        );
+    }
+
+    #[test]
+    fn identity_on_uniform_network_all_equal() {
+        let tasks = ring_task_graph(6, 1e6);
+        let perf = PerfMatrix::uniform(6, LinkPerf::new(1e-3, 1e8));
+        let machines = machine_graph_from_perf(&perf);
+        let a = evaluate_mapping(&tasks, &ring_mapping(6), &perf);
+        let b = evaluate_mapping(&tasks, &greedy_mapping(&tasks, &machines), &perf);
+        // On a uniform network every bijection costs the same.
+        assert!((a - b).abs() / a < 1e-9);
+    }
+}

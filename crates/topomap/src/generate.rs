@@ -1,0 +1,117 @@
+//! Task-graph generators.
+
+use crate::graph::TaskGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The paper's workload: a random task graph with symmetric edge weights
+/// drawn uniformly from `[min_bytes, max_bytes]` (paper §V-A uses
+/// 5 MB–10 MB). Each vertex receives `degree` random distinct partners (the
+/// union of proposals, so actual degree may exceed `degree`); the graph is
+/// forced connected by a ring backbone.
+pub fn random_task_graph(
+    n: usize,
+    degree: usize,
+    min_bytes: f64,
+    max_bytes: f64,
+    seed: u64,
+) -> TaskGraph {
+    assert!(n >= 2 && min_bytes <= max_bytes && min_bytes >= 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = TaskGraph::empty(n);
+    let weight = |rng: &mut StdRng| rng.random_range(min_bytes..=max_bytes);
+    // Connected backbone.
+    for v in 0..n {
+        let w = weight(&mut rng);
+        g.set_sym(v, (v + 1) % n, w);
+    }
+    // Random chords.
+    for v in 0..n {
+        for _ in 0..degree {
+            let u = rng.random_range(0..n);
+            if u != v && g.weight(v, u) == 0.0 {
+                let w = weight(&mut rng);
+                g.set_sym(v, u, w);
+            }
+        }
+    }
+    g
+}
+
+/// Ring task graph: each task talks to its two neighbors with a fixed
+/// volume — the pattern a ring mapping is optimal for.
+pub fn ring_task_graph(n: usize, bytes: f64) -> TaskGraph {
+    assert!(n >= 2);
+    let mut g = TaskGraph::empty(n);
+    for v in 0..n {
+        g.set_sym(v, (v + 1) % n, bytes);
+    }
+    g
+}
+
+/// 2-D 5-point stencil on a `rows × cols` grid (halo exchange), a classic
+/// HPC communication pattern.
+pub fn stencil_2d_task_graph(rows: usize, cols: usize, bytes: f64) -> TaskGraph {
+    let n = rows * cols;
+    assert!(n >= 2);
+    let mut g = TaskGraph::empty(n);
+    let id = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.set_sym(id(r, c), id(r, c + 1), bytes);
+            }
+            if r + 1 < rows {
+                g.set_sym(id(r, c), id(r + 1, c), bytes);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_graph_is_deterministic_and_in_range() {
+        let a = random_task_graph(16, 2, 5e6, 10e6, 7);
+        let b = random_task_graph(16, 2, 5e6, 10e6, 7);
+        assert_eq!(a, b);
+        for (_, _, w) in a.edges() {
+            assert!((5e6..=10e6).contains(&w), "weight {w}");
+        }
+    }
+
+    #[test]
+    fn random_graph_connected_via_ring() {
+        let g = random_task_graph(10, 0, 1.0, 1.0, 3);
+        for v in 0..10 {
+            assert!(g.weight(v, (v + 1) % 10) > 0.0);
+        }
+    }
+
+    #[test]
+    fn ring_graph_degree_two() {
+        let g = ring_task_graph(6, 100.0);
+        for v in 0..6 {
+            assert_eq!(g.neighbors(v).len(), 2);
+        }
+    }
+
+    #[test]
+    fn stencil_interior_degree_four() {
+        let g = stencil_2d_task_graph(4, 4, 10.0);
+        // Interior vertex (1,1) = 5 has 4 neighbors.
+        assert_eq!(g.neighbors(5).len(), 4);
+        // Corner (0,0) = 0 has 2.
+        assert_eq!(g.neighbors(0).len(), 2);
+    }
+
+    #[test]
+    fn stencil_edge_count() {
+        let g = stencil_2d_task_graph(3, 3, 1.0);
+        // 2*3*2 = 12 undirected edges → 24 directed.
+        assert_eq!(g.edges().len(), 24);
+    }
+}

@@ -1,0 +1,18 @@
+//! `cloudconst` — finding constant from change.
+//!
+//! Facade crate re-exporting the full `cloudconst` workspace: a Rust
+//! reproduction of *"Finding Constant from Change: Revisiting Network
+//! Performance Aware Optimizations on IaaS Clouds"* (SC 2014).
+//!
+//! Start with [`core::Advisor`] for the paper's Algorithm 1, or see the
+//! `examples/` directory for end-to-end walkthroughs.
+
+pub use cloudconst_apps as apps;
+pub use cloudconst_cloud as cloud;
+pub use cloudconst_collectives as collectives;
+pub use cloudconst_core as core;
+pub use cloudconst_linalg as linalg;
+pub use cloudconst_netmodel as netmodel;
+pub use cloudconst_rpca as rpca;
+pub use cloudconst_simnet as simnet;
+pub use cloudconst_topomap as topomap;
