@@ -172,17 +172,17 @@ pub fn run(cfg: &NBodyConfig, env: &CommEnv<'_>) -> NBodyReport {
 
     for step in 0..cfg.steps {
         // Kick-drift.
-        for i in 0..cfg.bodies {
-            for k in 0..3 {
-                bodies.vel[i][k] += 0.5 * cfg.dt * acc[i][k];
-                bodies.pos[i][k] += cfg.dt * bodies.vel[i][k];
+        for ((vel, pos), a) in bodies.vel.iter_mut().zip(bodies.pos.iter_mut()).zip(&acc) {
+            for (k, ak) in a.iter().enumerate() {
+                vel[k] += 0.5 * cfg.dt * ak;
+                pos[k] += cfg.dt * vel[k];
             }
         }
         // New forces (the O(n²) phase the processes share).
         acc = bodies.accelerations();
-        for i in 0..cfg.bodies {
-            for k in 0..3 {
-                bodies.vel[i][k] += 0.5 * cfg.dt * acc[i][k];
+        for (vel, a) in bodies.vel.iter_mut().zip(&acc) {
+            for (vk, ak) in vel.iter_mut().zip(a) {
+                *vk += 0.5 * cfg.dt * ak;
             }
         }
         compute_time += modeled_step_compute;

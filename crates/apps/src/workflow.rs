@@ -73,8 +73,8 @@ impl Workflow {
         assert!(width >= 1 && depth >= 1 && fan_in >= 1);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut tasks: Vec<WorkflowTask> = Vec::new();
-        let mut bytes = |rng: &mut StdRng| rng.random_range(min_bytes..=max_bytes);
-        let mut flops = |rng: &mut StdRng| rng.random_range(1e8..1e9) * flops_scale;
+        let bytes = |rng: &mut StdRng| rng.random_range(min_bytes..=max_bytes);
+        let flops = |rng: &mut StdRng| rng.random_range(1e8..1e9) * flops_scale;
 
         // Layer 0: sources.
         for _ in 0..width {
@@ -160,7 +160,7 @@ pub fn eft_schedule(wf: &Workflow, guide: &PerfMatrix, flops_per_sec: f64) -> Sc
         let task = wf.task(id);
         let compute = task.flops / flops_per_sec;
         let (mut best_mach, mut best_finish) = (0usize, f64::INFINITY);
-        for cand in 0..m {
+        for (cand, &free) in machine_free.iter().enumerate() {
             // Data-ready time on this candidate machine.
             let mut ready: f64 = 0.0;
             for &(p, bytes) in &task.inputs {
@@ -168,7 +168,7 @@ pub fn eft_schedule(wf: &Workflow, guide: &PerfMatrix, flops_per_sec: f64) -> Sc
                 let arrive = task_finish[p] + guide.transfer_time(from, cand, bytes);
                 ready = ready.max(arrive);
             }
-            let start = ready.max(machine_free[cand]);
+            let start = ready.max(free);
             let finish = start + compute;
             if finish < best_finish {
                 best_finish = finish;
@@ -336,8 +336,8 @@ pub fn execute(
         ready
     };
 
-    for id in 0..n {
-        if pending_inputs[id] == 0 {
+    for (id, &pending) in pending_inputs.iter().enumerate() {
+        if pending == 0 {
             heap.push(Reverse(Ready(0.0, id)));
         }
     }

@@ -36,6 +36,7 @@ use cloudconst_topomap::{
     anneal_mapping, evaluate_mapping, greedy_mapping, machine_graph_from_perf,
     random_task_graph, ring_mapping, AnnealOptions,
 };
+use rayon::prelude::*;
 use std::path::PathBuf;
 
 struct Ctx {
@@ -203,19 +204,28 @@ fn fig4(ctx: &Ctx) {
         "Fig 4: overhead of calibrating one TP-matrix (time step = 10)",
         &["instances", "probe rounds", "calibration overhead (min)", "RPCA wall (s)"],
     );
-    for &n in sizes {
-        let mut cloud = SyntheticCloud::new(CloudConfig::ec2_like(n, 77));
-        let cal = Calibrator::new();
-        let (tp, overhead) = cal.calibrate_tp(&mut cloud, 0.0, 60.0, 10);
-        let t0 = std::time::Instant::now();
-        let _ = estimate(&tp, EstimatorKind::Rpca).expect("rpca");
-        let rpca_wall = t0.elapsed().as_secs_f64();
-        t.row(vec![
-            n.to_string(),
-            (pairing_rounds(n).len() * 10).to_string(),
-            fmt(overhead / 60.0),
-            fmt(rpca_wall),
-        ]);
+    // Cluster sizes are independent sweep points: each builds its own
+    // cloud, so they run concurrently and rows land in sweep order.
+    let rows: Vec<Vec<String>> = (0..sizes.len())
+        .into_par_iter()
+        .map(|idx| {
+            let n = sizes[idx];
+            let cloud = SyntheticCloud::new(CloudConfig::ec2_like(n, 77));
+            let cal = Calibrator::new();
+            let (tp, overhead) = cal.calibrate_tp_par(&cloud, 0.0, 60.0, 10);
+            let t0 = std::time::Instant::now();
+            let _ = estimate(&tp, EstimatorKind::Rpca).expect("rpca");
+            let rpca_wall = t0.elapsed().as_secs_f64();
+            vec![
+                n.to_string(),
+                (pairing_rounds(n).len() * 10).to_string(),
+                fmt(overhead / 60.0),
+                fmt(rpca_wall),
+            ]
+        })
+        .collect();
+    for row in rows {
+        t.row(row);
     }
     ctx.save(&t, "fig4");
 }
@@ -606,12 +616,20 @@ fn fig12(ctx: &Ctx) {
     } else {
         &[2.0, 5.0, 10.0, 30.0]
     };
-    for &l in lambdas {
-        let mut s = base.clone();
-        s.bg_bytes = 100 * MB;
-        s.bg_lambda = l;
-        let (_, _, cal) = sim_calibrate(&s);
-        ta.row(vec![fmt(l), fmt(cal.norm_ne), fmt(cal.norm_ne_l1)]);
+    // Every λ builds its own simulator — sweep points run concurrently.
+    let rows: Vec<Vec<String>> = (0..lambdas.len())
+        .into_par_iter()
+        .map(|idx| {
+            let l = lambdas[idx];
+            let mut s = base.clone();
+            s.bg_bytes = 100 * MB;
+            s.bg_lambda = l;
+            let (_, _, cal) = sim_calibrate(&s);
+            vec![fmt(l), fmt(cal.norm_ne), fmt(cal.norm_ne_l1)]
+        })
+        .collect();
+    for row in rows {
+        ta.row(row);
     }
     ctx.save(&ta, "fig12a");
 
@@ -624,12 +642,19 @@ fn fig12(ctx: &Ctx) {
     } else {
         &[10, 50, 100, 200]
     };
-    for &mb in sizes {
-        let mut s = base.clone();
-        s.bg_bytes = mb * MB;
-        s.bg_lambda = 5.0;
-        let (_, _, cal) = sim_calibrate(&s);
-        tb.row(vec![mb.to_string(), fmt(cal.norm_ne), fmt(cal.norm_ne_l1)]);
+    let rows: Vec<Vec<String>> = (0..sizes.len())
+        .into_par_iter()
+        .map(|idx| {
+            let mb = sizes[idx];
+            let mut s = base.clone();
+            s.bg_bytes = mb * MB;
+            s.bg_lambda = 5.0;
+            let (_, _, cal) = sim_calibrate(&s);
+            vec![mb.to_string(), fmt(cal.norm_ne), fmt(cal.norm_ne_l1)]
+        })
+        .collect();
+    for row in rows {
+        tb.row(row);
     }
     ctx.save(&tb, "fig12b");
 }
@@ -657,11 +682,17 @@ fn fig13(ctx: &Ctx) {
     let runs = if ctx.full { 40 } else { 20 };
     // Pool two independent datacenters/calibrations: a single seed's
     // comparison is dominated by which links its one calibration window
-    // happened to catch congested.
-    let mut r = sim_comparison(&setup, runs, 8 * MB);
+    // happened to catch congested. The two simulations are independent,
+    // so they run concurrently.
     let mut setup2 = setup.clone();
     setup2.seed = setup.seed + 1000;
-    let r2 = sim_comparison(&setup2, runs, 8 * MB);
+    let setups = [&setup, &setup2];
+    let mut both: Vec<_> = (0..setups.len())
+        .into_par_iter()
+        .map(|i| sim_comparison(setups[i], runs, 8 * MB))
+        .collect();
+    let r2 = both.pop().expect("two comparisons");
+    let mut r = both.pop().expect("two comparisons");
     r.bcast.merge(&r2.bcast);
     r.scatter.merge(&r2.scatter);
     r.topomap.merge(&r2.topomap);
@@ -910,36 +941,52 @@ fn ext_workflow(ctx: &Ctx) {
         &[101, 102, 103, 104, 105, 106]
     };
     let mut sums = [0.0f64; 4];
-    for &seed in seeds {
-        let mut cloud = SyntheticCloud::new(CloudConfig::ec2_like(n, seed));
-        let (tp, _) = Calibrator::new().calibrate_tp(&mut cloud, 0.0, 1800.0, 10);
-        let rpca_guide = estimate(&tp, EstimatorKind::Rpca).expect("rpca").perf;
-        let heur_guide = estimate(&tp, EstimatorKind::HeuristicMean).expect("heur").perf;
-        let truth = cloud.ground_truth(0).clone();
-        // Execute against the instantaneous network some hours later.
-        let actual = instantaneous_perf(&cloud, 30_000.0);
+    // Seeds are independent clouds/workflows — run them concurrently and
+    // fold results in seed order.
+    let per_seed: Vec<[f64; 4]> = (0..seeds.len())
+        .into_par_iter()
+        .map(|idx| {
+            let seed = seeds[idx];
+            let cloud = SyntheticCloud::new(CloudConfig::ec2_like(n, seed));
+            let (tp, _) = Calibrator::new().calibrate_tp_par(&cloud, 0.0, 1800.0, 10);
+            let rpca_guide = estimate(&tp, EstimatorKind::Rpca).expect("rpca").perf;
+            let heur_guide = estimate(&tp, EstimatorKind::HeuristicMean).expect("heur").perf;
+            let truth = cloud.ground_truth(0).clone();
+            // Execute against the instantaneous network some hours later.
+            let actual = instantaneous_perf(&cloud, 30_000.0);
 
-        // Data-heavy DAG: edges of 16-64 MB dwarf the ~0.01-0.1 s
-        // per-task compute, so placement quality drives the makespan.
-        let wf = Workflow::layered(n, 4, 3, 16 * MB, 64 * MB, 0.1, seed ^ 0xF10);
-        let flops = 1e9;
-        let rr = execute_workflow(&wf, &round_robin_schedule(&wf, n), &actual, flops);
-        let heft_h =
-            execute_workflow(&wf, &balanced_eft_schedule(&wf, &heur_guide, flops), &actual, flops);
-        let heft_r =
-            execute_workflow(&wf, &balanced_eft_schedule(&wf, &rpca_guide, flops), &actual, flops);
-        let heft_o =
-            execute_workflow(&wf, &balanced_eft_schedule(&wf, &truth, flops), &actual, flops);
-        sums[0] += rr.makespan;
-        sums[1] += heft_h.makespan;
-        sums[2] += heft_r.makespan;
-        sums[3] += heft_o.makespan;
+            // Data-heavy DAG: edges of 16-64 MB dwarf the ~0.01-0.1 s
+            // per-task compute, so placement quality drives the makespan.
+            let wf = Workflow::layered(n, 4, 3, 16 * MB, 64 * MB, 0.1, seed ^ 0xF10);
+            let flops = 1e9;
+            let rr = execute_workflow(&wf, &round_robin_schedule(&wf, n), &actual, flops);
+            let heft_h = execute_workflow(
+                &wf,
+                &balanced_eft_schedule(&wf, &heur_guide, flops),
+                &actual,
+                flops,
+            );
+            let heft_r = execute_workflow(
+                &wf,
+                &balanced_eft_schedule(&wf, &rpca_guide, flops),
+                &actual,
+                flops,
+            );
+            let heft_o =
+                execute_workflow(&wf, &balanced_eft_schedule(&wf, &truth, flops), &actual, flops);
+            [rr.makespan, heft_h.makespan, heft_r.makespan, heft_o.makespan]
+        })
+        .collect();
+    for (idx, m) in per_seed.iter().enumerate() {
+        for (s, v) in sums.iter_mut().zip(m.iter()) {
+            *s += v;
+        }
         t.row(vec![
-            seed.to_string(),
-            fmt(rr.makespan),
-            fmt(heft_h.makespan),
-            fmt(heft_r.makespan),
-            fmt(heft_o.makespan),
+            seeds[idx].to_string(),
+            fmt(m[0]),
+            fmt(m[1]),
+            fmt(m[2]),
+            fmt(m[3]),
         ]);
     }
     let k = seeds.len() as f64;

@@ -6,6 +6,7 @@ use cloudconst_cloud::{CloudConfig, SyntheticCloud};
 use cloudconst_collectives::Collective;
 use cloudconst_core::{estimate, Advisor, AdvisorConfig, EstimatorKind, MaintenanceDecision};
 use cloudconst_netmodel::{PerfMatrix, MB};
+use rayon::prelude::*;
 use cloudconst_topomap::{
     evaluate_mapping, greedy_mapping, machine_graph_from_perf, random_task_graph, ring_mapping,
 };
@@ -139,14 +140,24 @@ pub fn instantaneous_perf(cloud: &SyntheticCloud, t: f64) -> PerfMatrix {
 /// Run `pools` campaigns with consecutive seeds and pool their series —
 /// the statistically meaningful way to compare guided approaches (each
 /// campaign contributes an independent calibration window and cloud).
+///
+/// Campaigns are independent (seed `c.seed + 1000·k`), so they run on
+/// worker threads; the merge happens afterwards in pool order, keeping the
+/// pooled series identical to the sequential loop this replaced.
 pub fn run_pooled(c: &Campaign, pools: usize) -> CampaignResult {
     assert!(pools >= 1);
-    let mut base = run_campaign(c);
+    let results: Vec<CampaignResult> = (0..pools)
+        .into_par_iter()
+        .map(|k| {
+            let mut ck = c.clone();
+            ck.seed = c.seed.wrapping_add(k as u64 * 1000);
+            run_campaign(&ck)
+        })
+        .collect();
+    let mut iter = results.into_iter();
+    let mut base = iter.next().expect("pools >= 1");
     let mut norm_sum = base.norm_ne;
-    for k in 1..pools {
-        let mut ck = c.clone();
-        ck.seed = c.seed.wrapping_add(k as u64 * 1000);
-        let r = run_campaign(&ck);
+    for r in iter {
         base.bcast.merge(&r.bcast);
         base.scatter.merge(&r.scatter);
         base.topomap.merge(&r.topomap);
@@ -169,7 +180,7 @@ pub fn run_campaign(c: &Campaign) -> CampaignResult {
         .cloud
         .clone()
         .unwrap_or_else(|| CloudConfig::ec2_like(c.n, c.seed));
-    let mut cloud = SyntheticCloud::new(cloud_cfg);
+    let cloud = SyntheticCloud::new(cloud_cfg);
 
     let mut advisor = Advisor::new(AdvisorConfig {
         time_step: c.time_step,
@@ -187,8 +198,10 @@ pub fn run_campaign(c: &Campaign) -> CampaignResult {
 
     let mut rpca_wall = 0.0;
     let t0 = std::time::Instant::now();
+    // The synthetic cloud's probes are pure, so calibration rounds fan out
+    // across threads (bit-identical to the serial path — see Advisor).
     advisor
-        .calibrate(&mut cloud, CAL_OFFSET)
+        .calibrate_par(&cloud, CAL_OFFSET)
         .expect("initial calibration");
     rpca_wall += t0.elapsed().as_secs_f64();
     let mut calibration_overhead = advisor.model().unwrap().calibration_overhead;
@@ -259,7 +272,7 @@ pub fn run_campaign(c: &Campaign) -> CampaignResult {
         if advisor.check(expected, rpca_bcast_actual) == MaintenanceDecision::Recalibrate {
             let t0 = std::time::Instant::now();
             advisor
-                .calibrate(&mut cloud, t + CAL_OFFSET)
+                .calibrate_par(&cloud, t + CAL_OFFSET)
                 .expect("re-calibration");
             rpca_wall += t0.elapsed().as_secs_f64();
             calibration_overhead += advisor.model().unwrap().calibration_overhead;

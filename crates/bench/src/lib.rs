@@ -8,6 +8,7 @@
 //! repeatedly against the *actual* (instantaneous) network and compare.
 
 pub mod campaign;
+pub mod regress;
 pub mod replay;
 pub mod sim_experiments;
 pub mod table;

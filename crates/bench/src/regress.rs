@@ -1,0 +1,245 @@
+//! Performance-regression harness (the `regress` binary).
+//!
+//! Times the pipeline's three hot paths — RPCA solves, the flow-level
+//! simulator, and full TP-matrix calibration — at the cluster sizes the
+//! paper evaluates (`N ∈ {16, 64, 196}`), and writes the measurements to
+//! `BENCH_<date>.json` at the repository root. Successive working sessions
+//! diff these files to catch performance regressions; the report also
+//! records the parallel-vs-serial timing of a paper-scale RPCA solve
+//! (10 × 4096, i.e. `N = 64`), whose serial leg the binary measures in a
+//! `RAYON_NUM_THREADS=1` subprocess.
+
+use cloudconst_cloud::{CloudConfig, SyntheticCloud};
+use cloudconst_linalg::Mat;
+use cloudconst_netmodel::Calibrator;
+use cloudconst_rpca::{apg, ApgOptions};
+use cloudconst_simnet::{BackgroundSpec, Simulator, Topology};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Cluster sizes the harness sweeps (the paper's 16/64/196 instances).
+pub const SIZES: &[usize] = &[16, 64, 196];
+
+/// One timed workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchRecord {
+    /// Workload identifier, e.g. `rpca_apg` or `calibration_tp`.
+    pub name: String,
+    /// Cluster size the workload ran at (0 when not size-parameterized).
+    pub n: u64,
+    /// Best-of-`reps` wall time in seconds.
+    pub seconds: f64,
+    /// Workload-specific throughput/quality figure (0 when unused).
+    pub metric: f64,
+}
+
+/// The full report serialized to `BENCH_<date>.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegressReport {
+    /// UTC date the harness ran (`YYYY-MM-DD`).
+    pub date: String,
+    /// Worker threads the rayon pool used.
+    pub threads: u64,
+    /// All timed workloads.
+    pub records: Vec<BenchRecord>,
+}
+
+impl RegressReport {
+    /// File name the report is written under at the repo root.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.date)
+    }
+}
+
+/// A TP-matrix-shaped input (`steps × N²`): constant columns plus sparse
+/// spikes, the structure RPCA sees in production. Mirrors the criterion
+/// bench so numbers stay comparable.
+pub fn tp_like(steps: usize, n_instances: usize) -> Mat {
+    let cols = n_instances * n_instances;
+    let base: Vec<f64> = (0..cols).map(|j| 1.0 + ((j * 31) % 17) as f64 * 0.1).collect();
+    let mut data = Vec::with_capacity(steps * cols);
+    for r in 0..steps {
+        for (j, b) in base.iter().enumerate() {
+            let spike = if (r * 7919 + j) % 997 == 0 { 5.0 } else { 0.0 };
+            data.push(b + spike);
+        }
+    }
+    Mat::from_vec(steps, cols, data)
+}
+
+/// Best-of-`reps` wall time of `f`, seconds. The minimum is the standard
+/// regression statistic: it is the least noisy under scheduler jitter.
+pub fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    assert!(reps >= 1);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let out = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        std::hint::black_box(out);
+    }
+    best
+}
+
+/// Time one RPCA (APG) solve on a `10 × N²` TP-matrix.
+pub fn bench_rpca(n: usize, reps: usize) -> BenchRecord {
+    let a = tp_like(10, n);
+    let seconds = best_of(reps, || apg(&a, &ApgOptions::default()).expect("apg converges"));
+    BenchRecord {
+        name: "rpca_apg_10xN2".into(),
+        n: n as u64,
+        seconds,
+        metric: 0.0,
+    }
+}
+
+/// The paper-scale hot RPCA solve used for the parallel-vs-serial
+/// comparison: `10 × 4096` (`N = 64`). Both the parent process (full
+/// thread pool) and the `RAYON_NUM_THREADS=1` child call exactly this.
+pub fn rpca_hot_seconds() -> f64 {
+    let a = tp_like(10, 64);
+    best_of(3, || apg(&a, &ApgOptions::default()).expect("apg converges"))
+}
+
+/// Time a full 10-snapshot TP-matrix calibration on the synthetic cloud.
+pub fn bench_calibration(n: usize, reps: usize) -> BenchRecord {
+    let cloud = SyntheticCloud::new(CloudConfig::ec2_like(n, 7));
+    let seconds = best_of(reps, || {
+        Calibrator::new().calibrate_tp_par(&cloud, 0.0, 60.0, 10)
+    });
+    BenchRecord {
+        name: "calibration_tp".into(),
+        n: n as u64,
+        seconds,
+        metric: 0.0,
+    }
+}
+
+/// Time 60 simulated seconds of background traffic on the paper's
+/// 1024-host tree; the metric is flows completed per wall second.
+pub fn bench_simnet(reps: usize) -> BenchRecord {
+    let mut flows = 0u64;
+    let seconds = best_of(reps, || {
+        let mut sim = Simulator::new(Topology::paper_tree(), 1);
+        BackgroundSpec {
+            pairs: 100,
+            message_bytes: 10 << 20,
+            lambda: 2.0,
+            churn: 0.2,
+            seed: 5,
+        }
+        .install(&mut sim, 0.0);
+        sim.run_until(60.0);
+        flows = sim.flows_completed();
+        flows
+    });
+    BenchRecord {
+        name: "simnet_background_60s".into(),
+        n: 0,
+        seconds,
+        metric: if seconds > 0.0 { flows as f64 / seconds } else { 0.0 },
+    }
+}
+
+/// Run the whole suite. `serial_rpca_seconds` is the `RAYON_NUM_THREADS=1`
+/// measurement of [`rpca_hot_seconds`] when the caller obtained one (the
+/// binary measures it in a subprocess); the parallel leg is always timed
+/// here, and a speedup record is emitted when both legs exist.
+pub fn run_suite(sizes: &[usize], serial_rpca_seconds: Option<f64>, date: String) -> RegressReport {
+    let mut records = Vec::new();
+    for &n in sizes {
+        // One rep at paper scale (tens of seconds), three below it.
+        let reps = if n >= 128 { 1 } else { 3 };
+        records.push(bench_rpca(n, reps));
+    }
+    for &n in sizes {
+        let reps = if n >= 128 { 1 } else { 3 };
+        records.push(bench_calibration(n, reps));
+    }
+    records.push(bench_simnet(2));
+
+    let par = rpca_hot_seconds();
+    records.push(BenchRecord {
+        name: "rpca_10x4096_parallel".into(),
+        n: 64,
+        seconds: par,
+        metric: 0.0,
+    });
+    if let Some(serial) = serial_rpca_seconds {
+        records.push(BenchRecord {
+            name: "rpca_10x4096_serial".into(),
+            n: 64,
+            seconds: serial,
+            metric: 0.0,
+        });
+        records.push(BenchRecord {
+            name: "rpca_10x4096_speedup".into(),
+            n: 64,
+            seconds: 0.0,
+            metric: if par > 0.0 { serial / par } else { 0.0 },
+        });
+    }
+
+    RegressReport {
+        date,
+        threads: rayon::current_num_threads() as u64,
+        records,
+    }
+}
+
+/// `YYYY-MM-DD` (UTC) from seconds since the Unix epoch (civil-from-days,
+/// Howard Hinnant's algorithm) — keeps the harness free of a date crate.
+pub fn civil_date(unix_seconds: u64) -> String {
+    let z = (unix_seconds / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_date_known_values() {
+        assert_eq!(civil_date(0), "1970-01-01");
+        assert_eq!(civil_date(86_399), "1970-01-01");
+        assert_eq!(civil_date(86_400), "1970-01-02");
+        // 2026-08-07 00:00:00 UTC = 20672 days after the epoch.
+        assert_eq!(civil_date(20_672 * 86_400), "2026-08-07");
+    }
+
+    #[test]
+    fn suite_produces_json_roundtrip() {
+        // Tiny sizes so the test stays fast; the shape is what matters.
+        let report = run_suite(&[8], Some(0.5), "2026-08-07".into());
+        assert_eq!(report.file_name(), "BENCH_2026-08-07.json");
+        assert!(report.threads >= 1);
+        let names: Vec<&str> = report.records.iter().map(|r| r.name.as_str()).collect();
+        assert!(names.contains(&"rpca_apg_10xN2"));
+        assert!(names.contains(&"calibration_tp"));
+        assert!(names.contains(&"simnet_background_60s"));
+        assert!(names.contains(&"rpca_10x4096_parallel"));
+        assert!(names.contains(&"rpca_10x4096_speedup"));
+        for r in &report.records {
+            assert!(r.seconds.is_finite() && r.seconds >= 0.0, "{}", r.name);
+        }
+        let json = serde_json::to_string_pretty(&report).expect("serialize");
+        let back: RegressReport = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back.records.len(), report.records.len());
+        assert_eq!(back.date, report.date);
+    }
+
+    #[test]
+    fn tp_like_has_paper_shape() {
+        let a = tp_like(10, 16);
+        assert_eq!(a.shape(), (10, 256));
+    }
+}

@@ -131,7 +131,7 @@ mod tests {
     fn fmt_ranges() {
         assert_eq!(fmt(0.0), "0");
         assert_eq!(fmt(0.12345), "0.1235");
-        assert_eq!(fmt(3.14159), "3.142");
+        assert_eq!(fmt(3.24159), "3.242");
         assert_eq!(fmt(123.456), "123.5");
     }
 }

@@ -149,7 +149,7 @@ mod tests {
     #[test]
     fn capacity_respected() {
         let p = Placement::random(16, 4, 2, 2, 7);
-        let mut load = vec![0usize; 8];
+        let mut load = [0usize; 8];
         for v in 0..16 {
             load[p.host_of(v)] += 1;
         }

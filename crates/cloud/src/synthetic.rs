@@ -3,7 +3,7 @@
 use crate::config::CloudConfig;
 use crate::hash;
 use crate::placement::{Placement, PlacementDistance};
-use cloudconst_netmodel::{LinkPerf, NetworkProbe, PerfMatrix};
+use cloudconst_netmodel::{LinkPerf, NetworkProbe, PerfMatrix, PureNetworkProbe};
 
 /// Hash stream tags, so the independent noise sources never collide.
 const STREAM_ALPHA_HET: u64 = 0xA1;
@@ -193,6 +193,15 @@ impl NetworkProbe for SyntheticCloud {
     }
 }
 
+impl PureNetworkProbe for SyntheticCloud {
+    // Probing never mutates the cloud: every noise source is a hash stream
+    // over `(seed, stream_tag, i, j, t)`, so the pure path is exactly the
+    // `&mut` path.
+    fn probe_pure(&self, i: usize, j: usize, bytes: u64, now: f64) -> f64 {
+        self.instantaneous(i, j, now).transfer_time(bytes)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -329,6 +338,26 @@ mod tests {
             let sr_mean: f64 = same_rack.iter().sum::<f64>() / same_rack.len() as f64;
             let cr_mean: f64 = cross_rack.iter().sum::<f64>() / cross_rack.len() as f64;
             assert!(sr_mean > cr_mean, "same-rack {sr_mean} <= cross-rack {cr_mean}");
+        }
+    }
+
+    #[test]
+    fn parallel_calibration_matches_serial_on_volatile_cloud() {
+        // Full noise model (spikes, lulls, volatility) at N = 16 so every
+        // hash stream is exercised; the parallel rounds must reproduce the
+        // serial measurement matrix bit for bit.
+        let cloud = SyntheticCloud::new(CloudConfig::ec2_like(16, 77));
+        let serial = Calibrator::new().calibrate(&mut cloud.clone(), 450.0);
+        let par = Calibrator::new().calibrate_par(&cloud, 450.0);
+        assert_eq!(par.rounds, serial.rounds);
+        assert_eq!(par.overhead.to_bits(), serial.overhead.to_bits());
+        for i in 0..16 {
+            for j in 0..16 {
+                let a = serial.perf.link(i, j);
+                let b = par.perf.link(i, j);
+                assert_eq!(a.alpha.to_bits(), b.alpha.to_bits(), "alpha ({i},{j})");
+                assert_eq!(a.beta.to_bits(), b.beta.to_bits(), "beta ({i},{j})");
+            }
         }
     }
 

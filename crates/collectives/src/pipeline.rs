@@ -41,6 +41,9 @@ pub fn schedule_pipelined_broadcast(
     // segment 1 chases it, etc. Port serialization links consecutive sends
     // of the same machine across segments automatically.
     let order = tree.bfs_order();
+    // `s` is an inner index of `delivered` (`delivered[v][s]`), so the
+    // range loop is the natural form here.
+    #[allow(clippy::needless_range_loop)]
     for s in 0..segments {
         let bytes = if s + 1 == segments { last_size } else { seg_size };
         for &u in &order {
@@ -126,12 +129,12 @@ mod tests {
         let t = binomial_tree(0, 6);
         let dag = schedule_pipelined_broadcast(&t, 1000, 4);
         // Every non-root machine receives exactly msg bytes in total.
-        let mut received = vec![0u64; 6];
+        let mut received = [0u64; 6];
         for tr in &dag.transfers {
             received[tr.dst] += tr.bytes;
         }
-        for v in 1..6 {
-            assert_eq!(received[v], 1000, "machine {v}");
+        for (v, &bytes) in received.iter().enumerate().skip(1) {
+            assert_eq!(bytes, 1000, "machine {v}");
         }
         assert_eq!(dag.transfers.len(), 5 * 4);
     }

@@ -31,9 +31,9 @@ pub fn topo_aware_tree(root: usize, racks: &[usize]) -> CommTree {
     rack_slot.insert(racks[root], 0usize);
     rack_order.push(racks[root]);
     members.push(Vec::new());
-    for v in 0..n {
-        let slot = *rack_slot.entry(racks[v]).or_insert_with(|| {
-            rack_order.push(racks[v]);
+    for (v, &rack) in racks.iter().enumerate() {
+        let slot = *rack_slot.entry(rack).or_insert_with(|| {
+            rack_order.push(rack);
             members.push(Vec::new());
             members.len() - 1
         });

@@ -2,7 +2,9 @@
 
 use crate::estimator::{estimate, ConstantEstimate, EstimatorKind};
 use crate::{CoreError, Result};
-use cloudconst_netmodel::{CalibrationConfig, Calibrator, NetworkProbe, PerfMatrix, TpMatrix};
+use cloudconst_netmodel::{
+    CalibrationConfig, Calibrator, NetworkProbe, PerfMatrix, PureNetworkProbe, TpMatrix,
+};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the advisor loop.
@@ -106,6 +108,26 @@ impl Advisor {
         };
         let (tp, overhead) =
             calibrator.calibrate_tp(probe, now, self.cfg.snapshot_interval, self.cfg.time_step);
+        self.install_model(tp, overhead, now)
+    }
+
+    /// Lines 1–2 through a pure probe: each round's pair measurements run
+    /// on worker threads (see [`Calibrator::calibrate_par`]). Produces a
+    /// model bit-identical to [`Advisor::calibrate`] on the same probe.
+    pub fn calibrate_par<P: PureNetworkProbe>(
+        &mut self,
+        probe: &P,
+        now: f64,
+    ) -> Result<&ModelState> {
+        let calibrator = Calibrator {
+            config: self.cfg.calibration.clone(),
+        };
+        let (tp, overhead) =
+            calibrator.calibrate_tp_par(probe, now, self.cfg.snapshot_interval, self.cfg.time_step);
+        self.install_model(tp, overhead, now)
+    }
+
+    fn install_model(&mut self, tp: TpMatrix, overhead: f64, now: f64) -> Result<&ModelState> {
         let est = estimate(&tp, self.cfg.estimator)?;
         self.calibrations += 1;
         self.model = Some(ModelState {
@@ -212,6 +234,29 @@ mod tests {
             }
         }
         assert_eq!(advisor.calibrations(), 1);
+    }
+
+    #[test]
+    fn parallel_calibrate_builds_identical_model() {
+        let cloud = SyntheticCloud::new(CloudConfig::ec2_like(12, 6));
+        let mut serial = Advisor::new(quick_cfg());
+        let mut par = Advisor::new(quick_cfg());
+        serial.calibrate(&mut cloud.clone(), 0.0).unwrap();
+        par.calibrate_par(&cloud, 0.0).unwrap();
+        let (ms, mp) = (serial.model().unwrap(), par.model().unwrap());
+        assert_eq!(
+            ms.calibration_overhead.to_bits(),
+            mp.calibration_overhead.to_bits()
+        );
+        assert_eq!(ms.estimate.norm_ne.to_bits(), mp.estimate.norm_ne.to_bits());
+        for i in 0..12 {
+            for j in 0..12 {
+                let a = ms.estimate.perf.link(i, j);
+                let b = mp.estimate.perf.link(i, j);
+                assert_eq!(a.alpha.to_bits(), b.alpha.to_bits(), "alpha ({i},{j})");
+                assert_eq!(a.beta.to_bits(), b.beta.to_bits(), "beta ({i},{j})");
+            }
+        }
     }
 
     #[test]

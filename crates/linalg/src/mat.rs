@@ -198,6 +198,10 @@ impl Mat {
     }
 
     /// Matrix–vector product `self * x`.
+    ///
+    /// Parallelizes over output rows for large products; each row's dot
+    /// product runs left-to-right either way, so the parallel path is
+    /// bit-identical to the serial one.
     pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
         if self.cols != x.len() {
             return Err(LinalgError::ShapeMismatch {
@@ -206,15 +210,18 @@ impl Mat {
                 rhs: (x.len(), 1),
             });
         }
-        Ok((0..self.rows)
-            .map(|i| {
-                self.row(i)
-                    .iter()
-                    .zip(x.iter())
-                    .map(|(a, b)| a * b)
-                    .sum()
-            })
-            .collect())
+        let dot = |i: usize| -> f64 {
+            self.row(i)
+                .iter()
+                .zip(x.iter())
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        if self.rows * self.cols >= PAR_MATMUL_FLOPS {
+            Ok((0..self.rows).into_par_iter().map(dot).collect())
+        } else {
+            Ok((0..self.rows).map(dot).collect())
+        }
     }
 
     /// Gram matrix of the rows: `self * selfᵀ` (shape `rows × rows`).

@@ -7,15 +7,36 @@
 //! magnitude exceeds `tol · max_abs(reference)`.
 
 use crate::Mat;
+use rayon::prelude::*;
+
+/// Fixed reduction block: partial sums are taken over `SUM_BLOCK`-element
+/// blocks and combined in block order on BOTH the serial and parallel
+/// paths, so the two produce bit-identical results for any thread count.
+const SUM_BLOCK: usize = 1024;
+
+/// Element count above which norm reductions fan out across threads.
+const PAR_NORM_ELEMS: usize = 1 << 15;
+
+/// Blocked sum of `f(x)` over `data`: deterministic regardless of
+/// parallelism (see [`SUM_BLOCK`]).
+fn blocked_sum(data: &[f64], f: impl Fn(f64) -> f64 + Sync) -> f64 {
+    let block_total = |block: &[f64]| block.iter().map(|&x| f(x)).sum::<f64>();
+    if data.len() >= PAR_NORM_ELEMS {
+        let partials: Vec<f64> = data.par_chunks(SUM_BLOCK).map(block_total).collect();
+        partials.into_iter().sum()
+    } else {
+        data.chunks(SUM_BLOCK).map(block_total).sum()
+    }
+}
 
 /// Frobenius norm: `sqrt(Σ aᵢⱼ²)`.
 pub fn fro_norm(m: &Mat) -> f64 {
-    m.as_slice().iter().map(|v| v * v).sum::<f64>().sqrt()
+    blocked_sum(m.as_slice(), |v| v * v).sqrt()
 }
 
 /// Entrywise ℓ₁ norm: `Σ |aᵢⱼ|`.
 pub fn l1_norm(m: &Mat) -> f64 {
-    m.as_slice().iter().map(|v| v.abs()).sum()
+    blocked_sum(m.as_slice(), |v| v.abs())
 }
 
 /// Entrywise infinity norm: `max |aᵢⱼ|`.
@@ -25,7 +46,15 @@ pub fn inf_norm(m: &Mat) -> f64 {
 
 /// Number of entries with `|aᵢⱼ| > threshold`.
 pub fn count_above(m: &Mat, threshold: f64) -> usize {
-    m.as_slice().iter().filter(|v| v.abs() > threshold).count()
+    let data = m.as_slice();
+    let block_count =
+        |block: &[f64]| block.iter().filter(|v| v.abs() > threshold).count();
+    if data.len() >= PAR_NORM_ELEMS {
+        let partials: Vec<usize> = data.par_chunks(SUM_BLOCK).map(block_count).collect();
+        partials.into_iter().sum()
+    } else {
+        data.iter().filter(|v| v.abs() > threshold).count()
+    }
 }
 
 /// The paper's relative zero-norm `‖E‖₀ / ‖A‖₀` implemented with a

@@ -1,6 +1,13 @@
 //! Householder QR factorization (thin form).
 
 use crate::{LinalgError, Mat, Result};
+use rayon::prelude::*;
+
+/// Flop count (trailing columns × active rows) above which reflector
+/// application fans out across threads. Each column's update is an
+/// independent dot-and-axpy with serial inner order, so the parallel path
+/// is bit-identical to the serial one.
+const PAR_QR_FLOPS: usize = 1 << 16;
 
 /// Result of [`qr_thin`]: `a = q * r` with `q` having orthonormal columns.
 #[derive(Debug, Clone)]
@@ -22,7 +29,10 @@ pub fn qr_thin(a: &Mat) -> Result<QrResult> {
         return Err(LinalgError::Empty);
     }
     let k = m.min(n);
-    let mut r = a.clone();
+    // Work on the transpose so every matrix column is a contiguous row
+    // slice: reflector application then splits into independent per-column
+    // jobs (`par_chunks_mut`) without strided writes.
+    let mut rt = a.transpose(); // n × m; row c holds column c of A.
     // Householder vectors, stored full-length for simplicity.
     let mut vs: Vec<Vec<f64>> = Vec::with_capacity(k);
 
@@ -31,7 +41,7 @@ pub fn qr_thin(a: &Mat) -> Result<QrResult> {
         let mut v = vec![0.0; m];
         let mut norm = 0.0;
         for i in j..m {
-            let x = r[(i, j)];
+            let x = rt[(j, i)];
             v[i] = x;
             norm += x * x;
         }
@@ -45,42 +55,53 @@ pub fn qr_thin(a: &Mat) -> Result<QrResult> {
                     *x /= vnorm;
                 }
                 // Apply (I - 2vvᵀ) to the remaining columns of R.
-                for c in j..n {
-                    let dot: f64 = (j..m).map(|i| v[i] * r[(i, c)]).sum();
-                    for i in j..m {
-                        r[(i, c)] -= 2.0 * v[i] * dot;
-                    }
-                }
+                apply_reflector(&mut rt.as_mut_slice()[j * m..n * m], m, j, &v);
             }
         }
         vs.push(v);
     }
 
-    // Q = H_0 H_1 ... H_{k-1} applied to the first k columns of I.
-    let mut q = Mat::zeros(m, k);
+    // Q = H_0 H_1 ... H_{k-1} applied to the first k columns of I,
+    // accumulated in transposed (column-contiguous) form like R.
+    let mut qt = Mat::zeros(k, m);
     for c in 0..k {
-        q[(c, c)] = 1.0;
+        qt[(c, c)] = 1.0;
     }
     for j in (0..k).rev() {
-        let v = &vs[j];
-        for c in 0..k {
-            let dot: f64 = (j..m).map(|i| v[i] * q[(i, c)]).sum();
-            if dot != 0.0 {
-                for i in j..m {
-                    q[(i, c)] -= 2.0 * v[i] * dot;
-                }
-            }
-        }
+        apply_reflector(qt.as_mut_slice(), m, j, &vs[j]);
     }
 
     // Trim R to k × n and force exact zeros below the diagonal.
     let mut r_out = Mat::zeros(k, n);
     for i in 0..k {
         for j in 0..n {
-            r_out[(i, j)] = if j >= i { r[(i, j)] } else { 0.0 };
+            r_out[(i, j)] = if j >= i { rt[(j, i)] } else { 0.0 };
         }
     }
-    Ok(QrResult { q, r: r_out })
+    Ok(QrResult {
+        q: qt.transpose(),
+        r: r_out,
+    })
+}
+
+/// Apply `I − 2vvᵀ` (restricted to rows `j..`) to every length-`m` column
+/// stored contiguously in `cols`. Columns are independent; each column's
+/// dot product and update run in ascending row order on both paths.
+fn apply_reflector(cols: &mut [f64], m: usize, j: usize, v: &[f64]) {
+    let update = |col: &mut [f64]| {
+        let dot: f64 = (j..m).map(|i| v[i] * col[i]).sum();
+        if dot != 0.0 {
+            for i in j..m {
+                col[i] -= 2.0 * v[i] * dot;
+            }
+        }
+    };
+    let n_cols = cols.len() / m;
+    if n_cols.saturating_mul(m - j) >= PAR_QR_FLOPS {
+        cols.par_chunks_mut(m).for_each(update);
+    } else {
+        cols.chunks_mut(m).for_each(update);
+    }
 }
 
 #[cfg(test)]

@@ -7,16 +7,36 @@
 
 use crate::svd::svd_trunc;
 use crate::{Mat, Result};
+use rayon::prelude::*;
+
+/// Element count above which shrinkage fans out across threads. The
+/// operation is pure per-element, so the parallel path is bit-identical to
+/// the serial one.
+const PAR_SHRINK_ELEMS: usize = 1 << 15;
+
+/// Chunk length for parallel shrinkage.
+const SHRINK_CHUNK: usize = 4096;
 
 /// Elementwise soft-thresholding: `sign(x) · max(|x| − tau, 0)`.
 pub fn soft_threshold(m: &Mat, tau: f64) -> Mat {
-    m.map(|x| shrink_scalar(x, tau))
+    let mut out = m.clone();
+    soft_threshold_into(&mut out, tau);
+    out
 }
 
 /// In-place variant of [`soft_threshold`].
 pub fn soft_threshold_into(m: &mut Mat, tau: f64) {
-    for x in m.as_mut_slice() {
-        *x = shrink_scalar(*x, tau);
+    let data = m.as_mut_slice();
+    if data.len() >= PAR_SHRINK_ELEMS {
+        data.par_chunks_mut(SHRINK_CHUNK).for_each(|chunk| {
+            for x in chunk {
+                *x = shrink_scalar(*x, tau);
+            }
+        });
+    } else {
+        for x in data {
+            *x = shrink_scalar(*x, tau);
+        }
     }
 }
 

@@ -11,9 +11,14 @@
 
 use crate::eigen::eigh;
 use crate::{LinalgError, Mat, Result};
+use rayon::prelude::*;
 
 /// Maximum sweeps for the one-sided Jacobi SVD.
 const MAX_JACOBI_SWEEPS: usize = 60;
+
+/// Minimum output-column count before the V-accumulation in
+/// [`svd_via_row_gram`] fans out across threads.
+const PAR_V_COLS: usize = 4096;
 
 /// A (thin or truncated) singular value decomposition `A ≈ U Σ Vᵀ`.
 #[derive(Debug, Clone)]
@@ -45,8 +50,13 @@ impl Svd {
     pub fn rank(&self, rel_tol: f64) -> usize {
         match self.s.first() {
             None => 0,
-            Some(&s0) if s0 == 0.0 => 0,
-            Some(&s0) => self.s.iter().filter(|&&x| x > rel_tol * s0).count(),
+            Some(&s0) => {
+                if s0 == 0.0 {
+                    0
+                } else {
+                    self.s.iter().filter(|&&x| x > rel_tol * s0).count()
+                }
+            }
         }
     }
 
@@ -130,16 +140,36 @@ fn svd_via_row_gram(a: &Mat, min_sv: f64) -> Result<Svd> {
             u[(r, col)] = eig.vectors[(r, idx)];
         }
         if sigma > zero_tol && sigma > 0.0 {
-            // v_col = Aᵀ u_col / σ — one pass over the rows of A.
-            for row in 0..m {
-                let coeff = eig.vectors[(row, idx)] / sigma;
-                if coeff == 0.0 {
-                    continue;
+            // v_col = Aᵀ u_col / σ — one pass over the rows of A. Element
+            // c accumulates row contributions in ascending row order, so
+            // the parallel split over c is bit-identical to a serial pass.
+            let coeffs: Vec<f64> = (0..m).map(|row| eig.vectors[(row, idx)] / sigma).collect();
+            let mut v_col = vec![0.0; n];
+            let accumulate = |(chunk_idx, chunk): (usize, &mut [f64])| {
+                let base = chunk_idx * PAR_V_COLS;
+                for (row, &coeff) in coeffs.iter().enumerate() {
+                    if coeff == 0.0 {
+                        continue;
+                    }
+                    let arow = &a.row(row)[base..base + chunk.len()];
+                    for (o, &av) in chunk.iter_mut().zip(arow.iter()) {
+                        *o += coeff * av;
+                    }
                 }
-                let arow = a.row(row);
-                for (c, &av) in arow.iter().enumerate() {
-                    v[(c, col)] += coeff * av;
-                }
+            };
+            if n >= 2 * PAR_V_COLS {
+                v_col
+                    .par_chunks_mut(PAR_V_COLS)
+                    .enumerate()
+                    .for_each(accumulate);
+            } else {
+                v_col
+                    .chunks_mut(PAR_V_COLS)
+                    .enumerate()
+                    .for_each(accumulate);
+            }
+            for (c, &val) in v_col.iter().enumerate() {
+                v[(c, col)] = val;
             }
         }
         // else: leave V column at zero; σ ≈ 0 makes it irrelevant.

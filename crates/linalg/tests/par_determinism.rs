@@ -1,0 +1,223 @@
+//! Bit-identity of parallel kernels.
+//!
+//! Every parallelized path in this crate claims to produce *bit-identical*
+//! results to its serial predecessor: parallelism only splits independent
+//! output elements (matmul/matvec/QR columns, shrinkage chunks) or uses the
+//! same fixed-block reduction order on both paths (norms). These tests pin
+//! that contract by re-implementing each serial predecessor naively and
+//! comparing with exact equality on inputs large enough to take the
+//! parallel path.
+
+use cloudconst_linalg::{fro_norm, l1_norm, qr_thin, soft_threshold, svd_thin, Mat};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_mat(rows: usize, cols: usize, seed: u64) -> Mat {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<f64> = (0..rows * cols)
+        .map(|_| rng.random_range(-5.0..5.0))
+        .collect();
+    Mat::from_vec(rows, cols, data)
+}
+
+fn assert_bits_eq(got: &[f64], want: &[f64], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{what}: element {i} differs ({g} vs {w})"
+        );
+    }
+}
+
+#[test]
+fn matmul_parallel_is_bit_identical_to_serial() {
+    // 160×140 · 140×150 = 3.36M flops, above the 1M parallel threshold.
+    let a = random_mat(160, 140, 1);
+    let b = random_mat(140, 150, 2);
+    let got = a.matmul(&b).unwrap();
+
+    // Serial predecessor: i-k-j loop order with the zero-skip.
+    let (m, k, n) = (160, 140, 150);
+    let mut want = vec![0.0f64; m * n];
+    for i in 0..m {
+        for kk in 0..k {
+            let av = a[(i, kk)];
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                want[i * n + j] += av * b[(kk, j)];
+            }
+        }
+    }
+    assert_bits_eq(got.as_slice(), &want, "matmul");
+}
+
+#[test]
+fn matvec_parallel_is_bit_identical_to_serial() {
+    // 1300×900 = 1.17M ≥ the 1M threshold.
+    let a = random_mat(1300, 900, 3);
+    let x: Vec<f64> = random_mat(1, 900, 4).into_vec();
+    let got = a.matvec(&x).unwrap();
+    let want: Vec<f64> = (0..1300)
+        .map(|i| a.row(i).iter().zip(x.iter()).map(|(p, q)| p * q).sum())
+        .collect();
+    assert_bits_eq(&got, &want, "matvec");
+}
+
+#[test]
+fn gram_rows_parallel_is_bit_identical_to_serial() {
+    let a = random_mat(48, 3000, 5);
+    let got = a.gram_rows();
+    let mut want = Mat::zeros(48, 48);
+    for i in 0..48 {
+        for j in i..48 {
+            let dot: f64 = a.row(i).iter().zip(a.row(j)).map(|(p, q)| p * q).sum();
+            want[(i, j)] = dot;
+            want[(j, i)] = dot;
+        }
+    }
+    assert_bits_eq(got.as_slice(), want.as_slice(), "gram_rows");
+}
+
+#[test]
+fn norms_match_serial_blocked_reference() {
+    // 10×38416 mirrors the paper-scale TP-matrix at N = 196; comfortably
+    // above the parallel threshold.
+    let a = random_mat(10, 38416, 6);
+    // Reference: the same fixed 1024-element block order, serially.
+    let fro_want = a
+        .as_slice()
+        .chunks(1024)
+        .map(|b| b.iter().map(|&x| x * x).sum::<f64>())
+        .sum::<f64>()
+        .sqrt();
+    let l1_want: f64 = a
+        .as_slice()
+        .chunks(1024)
+        .map(|b| b.iter().map(|&x| x.abs()).sum::<f64>())
+        .sum();
+    assert_eq!(fro_norm(&a).to_bits(), fro_want.to_bits(), "fro_norm");
+    assert_eq!(l1_norm(&a).to_bits(), l1_want.to_bits(), "l1_norm");
+}
+
+#[test]
+fn soft_threshold_parallel_is_bit_identical_to_serial() {
+    let a = random_mat(64, 1024, 7); // 65536 ≥ the 32768 threshold
+    let got = soft_threshold(&a, 0.75);
+    let want: Vec<f64> = a
+        .as_slice()
+        .iter()
+        .map(|&x| {
+            if x > 0.75 {
+                x - 0.75
+            } else if x < -0.75 {
+                x + 0.75
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    assert_bits_eq(got.as_slice(), &want, "soft_threshold");
+}
+
+#[test]
+fn svd_v_accumulation_parallel_is_bit_identical_to_serial() {
+    // Wide enough (n ≥ 8192) to take the parallel V-accumulation path.
+    let a = random_mat(8, 9000, 8);
+    let svd = svd_thin(&a).unwrap();
+    // Serial predecessor: v[c][col] accumulates row contributions in
+    // ascending row order with the zero-coefficient skip. U and σ are
+    // computed before the parallel section, so reusing them isolates
+    // exactly the parallelized accumulation.
+    for (col, &sigma) in svd.s.iter().enumerate() {
+        if sigma == 0.0 {
+            continue;
+        }
+        let mut want = vec![0.0f64; 9000];
+        for row in 0..8 {
+            let coeff = svd.u[(row, col)] / sigma;
+            if coeff == 0.0 {
+                continue;
+            }
+            for (c, &av) in a.row(row).iter().enumerate() {
+                want[c] += coeff * av;
+            }
+        }
+        for (c, w) in want.iter().enumerate() {
+            assert_eq!(
+                svd.v[(c, col)].to_bits(),
+                w.to_bits(),
+                "svd V column {col}, element {c}"
+            );
+        }
+    }
+}
+
+#[test]
+fn qr_parallel_is_bit_identical_to_serial_householder() {
+    // 300×260: trailing-column work exceeds the parallel threshold for
+    // most of the factorization.
+    let a = random_mat(300, 260, 9);
+    let got = qr_thin(&a).unwrap();
+
+    // Serial predecessor: textbook Householder on the un-transposed
+    // matrix, columns updated one after another.
+    let (m, n) = (300usize, 260usize);
+    let k = m.min(n);
+    let mut r = a.clone();
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(k);
+    for j in 0..k {
+        let mut v = vec![0.0; m];
+        let mut norm = 0.0;
+        for i in j..m {
+            let x = r[(i, j)];
+            v[i] = x;
+            norm += x * x;
+        }
+        let norm = norm.sqrt();
+        if norm > 0.0 {
+            let sign = if v[j] >= 0.0 { 1.0 } else { -1.0 };
+            v[j] += sign * norm;
+            let vnorm: f64 = v[j..].iter().map(|x| x * x).sum::<f64>().sqrt();
+            if vnorm > 0.0 {
+                for x in v[j..].iter_mut() {
+                    *x /= vnorm;
+                }
+                for c in j..n {
+                    let dot: f64 = (j..m).map(|i| v[i] * r[(i, c)]).sum();
+                    if dot != 0.0 {
+                        for i in j..m {
+                            r[(i, c)] -= 2.0 * v[i] * dot;
+                        }
+                    }
+                }
+            }
+        }
+        vs.push(v);
+    }
+    let mut q = Mat::zeros(m, k);
+    for c in 0..k {
+        q[(c, c)] = 1.0;
+    }
+    for j in (0..k).rev() {
+        let v = &vs[j];
+        for c in 0..k {
+            let dot: f64 = (j..m).map(|i| v[i] * q[(i, c)]).sum();
+            if dot != 0.0 {
+                for i in j..m {
+                    q[(i, c)] -= 2.0 * v[i] * dot;
+                }
+            }
+        }
+    }
+    assert_bits_eq(got.q.as_slice(), q.as_slice(), "qr Q");
+    for i in 0..k {
+        for j in 0..n {
+            let want = if j >= i { r[(i, j)] } else { 0.0 };
+            assert_eq!(got.r[(i, j)].to_bits(), want.to_bits(), "qr R ({i},{j})");
+        }
+    }
+}

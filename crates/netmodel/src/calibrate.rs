@@ -14,8 +14,13 @@
 use crate::alpha_beta::LinkPerf;
 use crate::perf_matrix::PerfMatrix;
 use crate::tp_matrix::TpMatrix;
-use crate::{NetworkProbe, ALPHA_PROBE_BYTES, BETA_PROBE_BYTES};
+use crate::{NetworkProbe, PureNetworkProbe, ALPHA_PROBE_BYTES, BETA_PROBE_BYTES};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Pair count below which a calibration round is probed serially even on
+/// the parallel path (thread handoff would cost more than the probes).
+const PAR_MIN_PAIRS: usize = 8;
 
 /// Round-robin (circle method) schedule of directed probe rounds.
 ///
@@ -27,7 +32,7 @@ pub fn pairing_rounds(n: usize) -> Vec<Vec<(usize, usize)>> {
         return Vec::new();
     }
     // Circle method on m slots (m even); slot m-1 is a bye when n is odd.
-    let m = if n % 2 == 0 { n } else { n + 1 };
+    let m = if n.is_multiple_of(2) { n } else { n + 1 };
     let mut ring: Vec<usize> = (0..m).collect();
     let mut rounds = Vec::with_capacity(2 * (m - 1));
     for _ in 0..(m - 1) {
@@ -150,6 +155,77 @@ impl Calibrator {
         }
     }
 
+    /// Parallel twin of [`Calibrator::calibrate`] for probes with pure
+    /// measurements: the `⌊N/2⌋` pairs of each round are probed on worker
+    /// threads. Rounds still run in schedule order and the clock advances
+    /// exactly as in the serial path, so the result is bit-identical to
+    /// `calibrate` on the same probe — pinned by the
+    /// `parallel_calibration_is_bit_identical` test below.
+    pub fn calibrate_par<P: PureNetworkProbe>(&self, probe: &P, now: f64) -> CalibrationRun {
+        let n = probe.n();
+        let mut perf = PerfMatrix::ideal(n);
+        let mut clock = now;
+        let mut rounds = 0;
+
+        let probe_round = |pairs: &[(usize, usize)], bytes: u64, at: f64| -> Vec<f64> {
+            if pairs.len() >= PAR_MIN_PAIRS {
+                (0..pairs.len())
+                    .into_par_iter()
+                    .map(|k| {
+                        let (i, j) = pairs[k];
+                        probe.probe_pure(i, j, bytes, at)
+                    })
+                    .collect()
+            } else {
+                pairs
+                    .iter()
+                    .map(|&(i, j)| probe.probe_pure(i, j, bytes, at))
+                    .collect()
+            }
+        };
+
+        let mut run_round = |pairs: &[(usize, usize)]| {
+            let t_small = probe_round(pairs, self.config.small_bytes, clock);
+            clock += t_small.iter().cloned().fold(0.0, f64::max);
+            let t_large = probe_round(pairs, self.config.large_bytes, clock);
+            clock += t_large.iter().cloned().fold(0.0, f64::max);
+            for (k, &(i, j)) in pairs.iter().enumerate() {
+                perf.set(
+                    i,
+                    j,
+                    LinkPerf::fit(
+                        self.config.small_bytes,
+                        t_small[k],
+                        self.config.large_bytes,
+                        t_large[k],
+                    ),
+                );
+            }
+        };
+
+        if self.config.concurrent {
+            for pairs in pairing_rounds(n) {
+                run_round(&pairs);
+                rounds += 1;
+            }
+        } else {
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j {
+                        run_round(&[(i, j)]);
+                        rounds += 1;
+                    }
+                }
+            }
+        }
+
+        CalibrationRun {
+            perf,
+            overhead: clock - now,
+            rounds,
+        }
+    }
+
     /// Build a TP-matrix of `steps` snapshots, one every `interval` seconds
     /// starting at `start`. Returns the TP-matrix and the total calibration
     /// overhead (time the probes occupied the network).
@@ -166,6 +242,27 @@ impl Calibrator {
         for k in 0..steps {
             let t = start + k as f64 * interval;
             let run = self.calibrate(probe, t);
+            total += run.overhead;
+            tp.push(t, &run.perf);
+        }
+        (tp, total)
+    }
+
+    /// Parallel twin of [`Calibrator::calibrate_tp`]; see
+    /// [`Calibrator::calibrate_par`] for the determinism contract.
+    pub fn calibrate_tp_par<P: PureNetworkProbe>(
+        &self,
+        probe: &P,
+        start: f64,
+        interval: f64,
+        steps: usize,
+    ) -> (TpMatrix, f64) {
+        let n = probe.n();
+        let mut tp = TpMatrix::new(n);
+        let mut total = 0.0;
+        for k in 0..steps {
+            let t = start + k as f64 * interval;
+            let run = self.calibrate_par(probe, t);
             total += run.overhead;
             tp.push(t, &run.perf);
         }
@@ -283,5 +380,53 @@ mod tests {
         assert_eq!(tp.steps(), 5);
         assert_eq!(tp.times(), &[100.0, 160.0, 220.0, 280.0, 340.0]);
         assert!(total > 0.0);
+    }
+
+    impl PureNetworkProbe for ModelProbe {
+        fn probe_pure(&self, i: usize, j: usize, bytes: u64, _now: f64) -> f64 {
+            self.0.transfer_time(i, j, bytes)
+        }
+    }
+
+    #[test]
+    fn parallel_calibration_is_bit_identical() {
+        // 24 VMs → 12-pair rounds, above PAR_MIN_PAIRS, so the parallel
+        // path genuinely fans out.
+        let truth = PerfMatrix::from_fn(24, |i, j| {
+            LinkPerf::new(1e-4 * (1 + (i * 7 + j) % 5) as f64, 1e8 * (1 + (i + j) % 3) as f64)
+        });
+        let serial = Calibrator::new().calibrate(&mut ModelProbe(truth.clone()), 10.0);
+        let par = Calibrator::new().calibrate_par(&ModelProbe(truth), 10.0);
+        assert_eq!(par.rounds, serial.rounds);
+        assert_eq!(par.overhead.to_bits(), serial.overhead.to_bits());
+        for i in 0..24 {
+            for j in 0..24 {
+                let a = serial.perf.link(i, j);
+                let b = par.perf.link(i, j);
+                assert_eq!(a.alpha.to_bits(), b.alpha.to_bits(), "alpha ({i},{j})");
+                assert_eq!(a.beta.to_bits(), b.beta.to_bits(), "beta ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_tp_matches_serial() {
+        let truth = PerfMatrix::from_fn(16, |i, j| {
+            LinkPerf::new(2e-4 + 1e-5 * i as f64, 5e7 + 1e6 * j as f64)
+        });
+        let (tp_s, total_s) =
+            Calibrator::new().calibrate_tp(&mut ModelProbe(truth.clone()), 0.0, 30.0, 4);
+        let (tp_p, total_p) = Calibrator::new().calibrate_tp_par(&ModelProbe(truth), 0.0, 30.0, 4);
+        assert_eq!(total_p.to_bits(), total_s.to_bits());
+        assert_eq!(tp_p.times(), tp_s.times());
+        for (ms, mp) in [
+            (tp_s.alpha_matrix(), tp_p.alpha_matrix()),
+            (tp_s.inv_beta_matrix(), tp_p.inv_beta_matrix()),
+        ] {
+            assert_eq!(ms.shape(), mp.shape());
+            for (a, b) in ms.as_slice().iter().zip(mp.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 }

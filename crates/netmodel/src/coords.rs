@@ -112,8 +112,8 @@ pub fn vivaldi<P: NetworkProbe>(probe: &mut P, cfg: &VivaldiConfig, now: f64) ->
             let err = rtt - pred;
             // Unit vector (random direction when colocated).
             let norm = dist.max(1e-12);
-            for k in 0..DIMS {
-                dir[k] /= norm;
+            for d in &mut dir {
+                *d /= norm;
             }
             // Move i along the error.
             for k in 0..DIMS {

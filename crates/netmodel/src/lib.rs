@@ -69,6 +69,20 @@ pub trait NetworkProbe {
     }
 }
 
+/// A probe whose measurements are pure functions of `(i, j, bytes, now)`:
+/// probing mutates no state, so the `⌊N/2⌋` pairs of a calibration round can
+/// be measured on worker threads and still return exactly the values the
+/// serial schedule would. The synthetic cloud qualifies (its link state is
+/// hash-derived from `(seed, stream, i, j, t)`); the discrete-event
+/// simulator does not (probes advance its event queue).
+///
+/// Implementors must satisfy `probe_pure(i, j, b, t) ==`
+/// [`NetworkProbe::probe`]`(i, j, b, t)` for every input.
+pub trait PureNetworkProbe: NetworkProbe + Sync {
+    /// [`NetworkProbe::probe`] through a shared reference.
+    fn probe_pure(&self, i: usize, j: usize, bytes: u64, now: f64) -> f64;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -173,6 +173,45 @@ mod tests {
     }
 
     #[test]
+    fn record_save_load_replay_gives_identical_tp_matrix() {
+        // Full artifact cycle for the paper's repeatable-experiment
+        // methodology (§V-D3): record a volatile trace, serialize to JSON,
+        // load it back, and derive the TP-matrix from the replayed trace.
+        // JSON float formatting must be exact for this to hold bitwise.
+        let n = 6;
+        let mut t = NetTrace::new(n);
+        for step in 0..12 {
+            let time = step as f64 * 30.0 + 0.125;
+            let pm = PerfMatrix::from_fn(n, |i, j| {
+                // Awkward, non-representable-in-decimal values so the
+                // round-trip actually exercises float printing.
+                let h = (i * 131 + j * 17 + step * 7919) % 1009;
+                LinkPerf::new(1e-4 + h as f64 / 3.0 * 1e-6, 1e8 / (1.0 + h as f64 / 7.0))
+            });
+            t.record(time, pm);
+        }
+
+        let mut buf = Vec::new();
+        t.save(&mut buf).unwrap();
+        let t2 = NetTrace::load(buf.as_slice()).unwrap();
+        assert_eq!(t, t2);
+
+        let (tp, tp2) = (t.to_tp_matrix(), t2.to_tp_matrix());
+        assert_eq!(tp.steps(), tp2.steps());
+        for (a, b) in tp.times().iter().zip(tp2.times()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (m, m2) in [
+            (tp.alpha_matrix(), tp2.alpha_matrix()),
+            (tp.inv_beta_matrix(), tp2.inv_beta_matrix()),
+        ] {
+            for (a, b) in m.as_slice().iter().zip(m2.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "time-ordered")]
     fn out_of_order_record_panics() {
         let mut t = sample_trace();

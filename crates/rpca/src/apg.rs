@@ -161,11 +161,30 @@ pub fn apg(a: &Mat, opts: &ApgOptions) -> Result<RpcaResult> {
         }
     }
 
+    // Out of budget: hand back the partial decomposition instead of
+    // dropping it. The solver ran on Â = A/‖A‖_F, so D and E must be
+    // rescaled exactly like the convergence path above; the relative
+    // residual is scale-invariant and therefore already consistent.
     let residual = fro_norm(&a.sub(&d)?.sub(&e)?) / a_fro;
+    let rank = svd_rank_of(&d);
     Err(RpcaError::NoConvergence {
         iters: opts.max_iters,
         residual,
+        partial: Box::new(RpcaResult {
+            d: d.scale(a_fro_orig),
+            e: e.scale(a_fro_orig),
+            iters: opts.max_iters,
+            residual,
+            rank,
+        }),
     })
+}
+
+/// Numerical rank of the final iterate (relative threshold 1e-9), for the
+/// partial result — the in-loop rank tracks the *previous* SVT call and is
+/// not in scope once the loop ends.
+fn svd_rank_of(d: &Mat) -> usize {
+    cloudconst_linalg::svd_thin(d).map(|s| s.rank(1e-9)).unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -250,15 +269,54 @@ mod tests {
     #[test]
     fn bad_options_rejected() {
         let a = Mat::zeros(2, 2);
-        let mut o = ApgOptions::default();
-        o.lambda = Some(-1.0);
+        let o = ApgOptions {
+            lambda: Some(-1.0),
+            ..Default::default()
+        };
         assert!(matches!(apg(&a, &o), Err(RpcaError::BadOption(_))));
-        let mut o = ApgOptions::default();
-        o.eta = 1.5;
+        let o = ApgOptions {
+            eta: 1.5,
+            ..Default::default()
+        };
         assert!(matches!(apg(&a, &o), Err(RpcaError::BadOption(_))));
-        let mut o = ApgOptions::default();
-        o.tol = 0.0;
+        let o = ApgOptions {
+            tol: 0.0,
+            ..Default::default()
+        };
         assert!(matches!(apg(&a, &o), Err(RpcaError::BadOption(_))));
+    }
+
+    #[test]
+    fn no_convergence_carries_rescaled_partial() {
+        let (a, _low, _s) = fixture(6, 30, &[(1, 5, 40.0), (4, 20, -35.0)]);
+        let o = ApgOptions {
+            max_iters: 2, // force the budget to run out
+            ..Default::default()
+        };
+        match apg(&a, &o) {
+            Err(RpcaError::NoConvergence {
+                iters,
+                residual,
+                partial,
+            }) => {
+                assert_eq!(iters, 2);
+                assert_eq!(partial.d.shape(), a.shape());
+                assert_eq!(partial.e.shape(), a.shape());
+                // The partial split must be in the ORIGINAL data scale:
+                // the reported relative residual recomputed from it must
+                // match (the solver works on A/‖A‖_F internally, so an
+                // unrescaled partial would be off by ‖A‖_F ≈ 262).
+                let recomputed = fro_norm(
+                    &a.sub(&partial.d).unwrap().sub(&partial.e).unwrap(),
+                ) / fro_norm(&a);
+                assert!(
+                    (recomputed - residual).abs() <= 1e-12 * residual.max(1.0),
+                    "residual {residual} inconsistent with partial ({recomputed})"
+                );
+                assert_eq!(partial.residual, residual);
+            }
+            other => panic!("expected NoConvergence, got {other:?}"),
+        }
     }
 
     #[test]

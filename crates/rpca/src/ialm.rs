@@ -104,10 +104,21 @@ pub fn ialm(a: &Mat, opts: &IalmOptions) -> Result<RpcaResult> {
         }
     }
 
+    // IALM iterates in the original data scale, so the partial split needs
+    // no rescaling — only packaging.
     let z = a.sub(&d)?.sub(&e)?;
+    let residual = fro_norm(&z) / a_fro.max(f64::MIN_POSITIVE);
+    let rank = cloudconst_linalg::svd_thin(&d).map(|s| s.rank(1e-9)).unwrap_or(0);
     Err(RpcaError::NoConvergence {
         iters: opts.max_iters,
-        residual: fro_norm(&z) / a_fro.max(f64::MIN_POSITIVE),
+        residual,
+        partial: Box::new(RpcaResult {
+            d,
+            e,
+            iters: opts.max_iters,
+            residual,
+            rank,
+        }),
     })
 }
 
@@ -169,11 +180,15 @@ mod tests {
     #[test]
     fn bad_options_rejected() {
         let a = Mat::zeros(2, 2);
-        let mut o = IalmOptions::default();
-        o.rho = 0.5;
+        let o = IalmOptions {
+            rho: 0.5,
+            ..Default::default()
+        };
         assert!(matches!(ialm(&a, &o), Err(RpcaError::BadOption(_))));
-        let mut o = IalmOptions::default();
-        o.lambda = Some(0.0);
+        let o = IalmOptions {
+            lambda: Some(0.0),
+            ..Default::default()
+        };
         assert!(matches!(ialm(&a, &o), Err(RpcaError::BadOption(_))));
     }
 

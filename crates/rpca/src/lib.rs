@@ -69,8 +69,14 @@ pub enum RpcaError {
     NoConvergence {
         /// Iterations performed.
         iters: usize,
-        /// Residual when the budget ran out.
+        /// Relative residual `‖A − D − E‖_F / ‖A‖_F` when the budget ran
+        /// out, in the same (original-data) scale as `partial`.
         residual: f64,
+        /// The decomposition reached when the budget ran out, rescaled to
+        /// the original data. A near-tolerance partial split is usually
+        /// still usable as an estimate; callers that need strict
+        /// convergence can keep treating this as a failure.
+        partial: Box<RpcaResult>,
     },
     /// Invalid option value (e.g. non-positive λ).
     BadOption(&'static str),
@@ -86,7 +92,9 @@ impl std::fmt::Display for RpcaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RpcaError::Linalg(e) => write!(f, "linear algebra error: {e}"),
-            RpcaError::NoConvergence { iters, residual } => {
+            RpcaError::NoConvergence {
+                iters, residual, ..
+            } => {
                 write!(f, "RPCA did not converge in {iters} iterations (residual {residual:.3e})")
             }
             RpcaError::BadOption(msg) => write!(f, "invalid RPCA option: {msg}"),

@@ -54,7 +54,7 @@ pub struct Rank1Result {
     pub iters: usize,
 }
 
-fn median(values: &mut Vec<f64>) -> f64 {
+fn median(values: &mut [f64]) -> f64 {
     if values.is_empty() {
         return 0.0;
     }

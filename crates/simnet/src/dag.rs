@@ -28,11 +28,10 @@ pub fn run_dag(view: &mut ClusterView<'_>, dag: &TransferDag, start: f64) -> f64
     while launched < m {
         // Launch every transfer whose dependencies have all arrived.
         let mut progress = false;
-        for i in 0..m {
+        for (i, t) in dag.transfers.iter().enumerate() {
             if flow_of[i].is_some() {
                 continue;
             }
-            let t = &dag.transfers[i];
             let ready = t.deps.iter().all(|&d| finish[d].is_some());
             if !ready {
                 continue;

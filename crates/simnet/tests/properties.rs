@@ -51,8 +51,8 @@ proptest! {
                 load[l] += rates[f];
             }
         }
-        for l in 0..topo.link_count() {
-            prop_assert!(load[l] <= topo.link(l).capacity * (1.0 + 1e-9), "link {l} overloaded");
+        for (l, &used) in load.iter().enumerate() {
+            prop_assert!(used <= topo.link(l).capacity * (1.0 + 1e-9), "link {l} overloaded");
         }
     }
 

@@ -67,8 +67,8 @@ pub fn greedy_mapping(tasks: &TaskGraph, machines: &TaskGraph) -> Mapping {
     // vertex has no mapped neighbor.
     let frontier_score = |g: &TaskGraph, v: usize, mapped: &[bool]| -> (f64, f64) {
         let mut into_region = 0.0;
-        for u in 0..n {
-            if mapped[u] {
+        for (u, &is_mapped) in mapped.iter().enumerate() {
+            if is_mapped {
                 into_region += g.weight(v, u) + g.weight(u, v);
             }
         }
@@ -129,7 +129,7 @@ mod tests {
         let tasks = ring_task_graph(8, 100.0);
         let machines = ring_task_graph(8, 1e9);
         let m = greedy_mapping(&tasks, &machines);
-        let mut seen = vec![false; 8];
+        let mut seen = [false; 8];
         for t in 0..8 {
             assert!(!seen[m.machine_of(t)]);
             seen[m.machine_of(t)] = true;

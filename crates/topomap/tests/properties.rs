@@ -13,15 +13,6 @@ fn task_graph_strategy(max_n: usize) -> impl Strategy<Value = TaskGraph> {
     })
 }
 
-fn perf_strategy(n: usize) -> impl Strategy<Value = PerfMatrix> {
-    proptest::collection::vec((1e-5f64..1e-3, 1e6f64..1e9), n * n).prop_map(move |v| {
-        PerfMatrix::from_fn(n, |i, j| {
-            let (a, b) = v[i * n + j];
-            LinkPerf::new(a, b)
-        })
-    })
-}
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 

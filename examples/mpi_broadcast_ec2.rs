@@ -46,10 +46,7 @@ fn main() {
         .iter()
         .map(|&a| cdf_points(r.bcast.get(a), q))
         .collect();
-    for k in 0..q {
-        println!(
-            "{:>9.2} {:>10.3} {:>11.3} {:>8.3}",
-            cdfs[0][k].1, cdfs[0][k].0, cdfs[1][k].0, cdfs[2][k].0
-        );
+    for ((b, h), r) in cdfs[0].iter().zip(&cdfs[1]).zip(&cdfs[2]) {
+        println!("{:>9.2} {:>10.3} {:>11.3} {:>8.3}", b.1, b.0, h.0, r.0);
     }
 }

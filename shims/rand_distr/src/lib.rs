@@ -1,0 +1,140 @@
+//! Offline shim for the `rand_distr` crate.
+//!
+//! Provides [`Distribution`] plus the exponential, normal and log-normal
+//! distributions over the workspace-local `rand` shim.
+
+use rand::{Rng, RngCore};
+
+/// A distribution samplable with any generator.
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Requires `lambda > 0` and finite.
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Exp { lambda })
+        } else {
+            Err(ParamError("Exp rate must be positive and finite"))
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random();
+        // u in [0, 1): 1 - u in (0, 1], so ln is finite.
+        -(1.0 - u).ln() / self.lambda
+    }
+}
+
+/// Normal distribution `N(mean, std_dev²)` via Box–Muller.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Requires a finite, non-negative standard deviation.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, ParamError> {
+        if std_dev >= 0.0 && std_dev.is_finite() && mean.is_finite() {
+            Ok(Normal { mean, std_dev })
+        } else {
+            Err(ParamError("Normal std_dev must be finite and non-negative"))
+        }
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    inner: Normal,
+}
+
+impl LogNormal {
+    /// Parameters of the underlying normal.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        Ok(LogNormal {
+            inner: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.inner.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exp_rejects_bad_rate() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(-1.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+        assert!(Exp::new(2.0).is_ok());
+    }
+
+    #[test]
+    fn exp_mean_matches_rate() {
+        let d = Exp::new(0.5).unwrap(); // mean 2
+        let mut r = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let mut r = StdRng::seed_from_u64(2);
+        let n = 50_000;
+        let vals: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        let mean = vals.iter().sum::<f64>() / n as f64;
+        let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_positive() {
+        let d = LogNormal::new(0.0, 0.25).unwrap();
+        let mut r = StdRng::seed_from_u64(3);
+        assert!((0..1000).all(|_| d.sample(&mut r) > 0.0));
+    }
+}

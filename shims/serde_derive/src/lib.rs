@@ -1,0 +1,404 @@
+//! Derive macros for the workspace-local `serde` shim.
+//!
+//! Hand-parses the item token stream (no `syn`/`quote` available offline)
+//! and supports exactly the shapes this workspace derives on:
+//!
+//! * structs with named fields  → JSON object, keys in declaration order
+//! * tuple structs              → JSON array
+//! * unit enum variants         → JSON string of the variant name
+//! * tuple enum variants        → externally tagged: `{"Variant": payload}`
+//!
+//! Generics, struct-style enum variants and `#[serde(...)]` attributes are
+//! rejected with a compile error rather than silently mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Which {
+    Serialize,
+    Deserialize,
+}
+
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    /// Variants paired with their tuple-payload arity (0 = unit variant).
+    Enum { name: String, variants: Vec<(String, usize)> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+fn expand(input: TokenStream, which: Which) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match (&item, which) {
+        (Item::NamedStruct { name, fields }, Which::Serialize) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Item::NamedStruct { name, fields }, Which::Deserialize) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(v.field({f:?})?)?,")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Item::TupleStruct { name, arity }, Which::Serialize) => {
+            let entries: String = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Item::TupleStruct { name, arity }, Which::Deserialize) => {
+            let inits: String = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(v.element({i})?)?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         ::std::result::Result::Ok({name}({inits}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Item::Enum { name, variants }, Which::Serialize) => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, arity)| match arity {
+                    0 => format!(
+                        "{name}::{v} => ::serde::Value::Str(\
+                         ::std::string::String::from({v:?})),"
+                    ),
+                    1 => format!(
+                        "{name}::{v}(f0) => ::serde::Value::Object(::std::vec![(\
+                         ::std::string::String::from({v:?}), \
+                         ::serde::Serialize::to_value(f0))]),"
+                    ),
+                    k => {
+                        let binds: Vec<String> = (0..*k).map(|i| format!("f{i}")).collect();
+                        let elems: String = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from({v:?}), \
+                             ::serde::Value::Array(::std::vec![{elems}]))]),",
+                            binds.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Item::Enum { name, variants }, Which::Deserialize) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, arity)| *arity == 0)
+                .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter(|(_, arity)| *arity > 0)
+                .map(|(v, arity)| {
+                    if *arity == 1 {
+                        format!(
+                            "{v:?} => ::std::result::Result::Ok({name}::{v}(\
+                             ::serde::Deserialize::from_value(payload)?)),"
+                        )
+                    } else {
+                        let elems: String = (0..*arity)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_value(payload.element({i})?)?,"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{v:?} => ::std::result::Result::Ok({name}::{v}({elems})),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => ::std::result::Result::Err(\
+                                     ::serde::DeError::unknown_variant({name:?}, other)),\n\
+                             }},\n\
+                             ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, payload) = &entries[0];\n\
+                                 let _ = payload;\n\
+                                 match tag.as_str() {{\n\
+                                     {data_arms}\n\
+                                     other => ::std::result::Result::Err(\
+                                         ::serde::DeError::unknown_variant({name:?}, other)),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => ::std::result::Result::Err(::serde::DeError(\
+                                 ::std::format!(\
+                                     \"expected string or single-key object for enum {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// Skip leading attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut idx: usize) -> usize {
+    loop {
+        match tokens.get(idx) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then `[...]` — the derive input has outer attrs only.
+                idx += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                idx += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(idx) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        idx += 1;
+                    }
+                }
+            }
+            _ => return idx,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut idx = skip_attrs_and_vis(&tokens, 0);
+
+    let kind = match tokens.get(idx) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde shim derive: expected struct/enum, got {other:?}")),
+    };
+    idx += 1;
+    let name = match tokens.get(idx) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde shim derive: expected type name, got {other:?}")),
+    };
+    idx += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(idx) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive: generic type `{name}` is not supported"
+            ));
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(idx) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok(Item::NamedStruct { name, fields })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                Ok(Item::TupleStruct { name, arity })
+            }
+            _ => Err(format!("serde shim derive: unsupported struct form for `{name}`")),
+        },
+        "enum" => match tokens.get(idx) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(&name, g.stream())?;
+                Ok(Item::Enum { name, variants })
+            }
+            _ => Err(format!("serde shim derive: malformed enum `{name}`")),
+        },
+        other => Err(format!("serde shim derive: unsupported item kind `{other}`")),
+    }
+}
+
+/// Field names of a named-field struct body, in declaration order.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut idx = 0;
+    while idx < tokens.len() {
+        idx = skip_attrs_and_vis(&tokens, idx);
+        if idx >= tokens.len() {
+            break;
+        }
+        let fname = match &tokens[idx] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("serde shim derive: expected field name, got {other:?}")),
+        };
+        idx += 1;
+        match tokens.get(idx) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => idx += 1,
+            other => {
+                return Err(format!(
+                    "serde shim derive: expected `:` after field `{fname}`, got {other:?}"
+                ))
+            }
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        // Commas inside parens/brackets/braces are hidden inside Groups, but
+        // `<`/`>` are plain Puncts and must be depth-tracked by hand.
+        let mut angle: i64 = 0;
+        while idx < tokens.len() {
+            match &tokens[idx] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    idx += 1;
+                    break;
+                }
+                _ => {}
+            }
+            idx += 1;
+        }
+        fields.push(fname);
+    }
+    Ok(fields)
+}
+
+/// Number of fields in a tuple-struct body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle: i64 = 0;
+    let mut commas = 0;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        trailing_comma = false;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    commas + usize::from(!trailing_comma)
+}
+
+/// Variant names of an enum paired with their tuple-payload arity
+/// (0 = unit). Struct-style variants are rejected.
+fn parse_variants(enum_name: &str, body: TokenStream) -> Result<Vec<(String, usize)>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut idx = 0;
+    while idx < tokens.len() {
+        idx = skip_attrs_and_vis(&tokens, idx);
+        if idx >= tokens.len() {
+            break;
+        }
+        let vname = match &tokens[idx] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde shim derive: expected variant name in `{enum_name}`, got {other:?}"
+                ))
+            }
+        };
+        idx += 1;
+        let mut arity = 0;
+        if let Some(TokenTree::Group(g)) = tokens.get(idx) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    arity = count_tuple_fields(g.stream());
+                    if arity == 0 {
+                        return Err(format!(
+                            "serde shim derive: empty tuple variant \
+                             `{enum_name}::{vname}` is not supported"
+                        ));
+                    }
+                    idx += 1;
+                }
+                _ => {
+                    return Err(format!(
+                        "serde shim derive: enum `{enum_name}` variant `{vname}` uses \
+                         struct syntax — only unit and tuple variants are supported"
+                    ))
+                }
+            }
+        }
+        match tokens.get(idx) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => idx += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' && arity == 0 => {
+                // Explicit discriminant: skip the expression.
+                idx += 1;
+                while idx < tokens.len() {
+                    if let TokenTree::Punct(p) = &tokens[idx] {
+                        if p.as_char() == ',' {
+                            idx += 1;
+                            break;
+                        }
+                    }
+                    idx += 1;
+                }
+            }
+            Some(other) => {
+                return Err(format!(
+                    "serde shim derive: unexpected token after variant `{vname}`: {other:?}"
+                ))
+            }
+        }
+        variants.push((vname, arity));
+    }
+    Ok(variants)
+}

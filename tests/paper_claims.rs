@@ -56,7 +56,7 @@ fn rpca_estimate_closer_to_ground_truth_than_mean() {
     use cloudconst::netmodel::{Calibrator, BETA_PROBE_BYTES};
     use cloudconst::rpca::relative_difference;
 
-    let mut err = |kind: EstimatorKind, seed: u64| {
+    let err = |kind: EstimatorKind, seed: u64| {
         let mut cloud = SyntheticCloud::new(CloudConfig::ec2_like(20, seed));
         let (tp, _) = Calibrator::new().calibrate_tp(&mut cloud, 0.0, 180.0, 10);
         let est = estimate(&tp, kind).expect("estimate").perf;
