@@ -9,9 +9,9 @@
 //! (10 × 4096, i.e. `N = 64`), whose serial leg the binary measures in a
 //! `RAYON_NUM_THREADS=1` subprocess.
 
-use cloudconst_cloud::{CloudConfig, SyntheticCloud};
+use cloudconst_cloud::{CloudConfig, FaultPlan, FaultyCloud, SyntheticCloud};
 use cloudconst_linalg::Mat;
-use cloudconst_netmodel::Calibrator;
+use cloudconst_netmodel::{Calibrator, ImputePolicy, RetryPolicy};
 use cloudconst_rpca::{apg, ApgOptions};
 use cloudconst_simnet::{BackgroundSpec, Simulator, Topology};
 use serde::{Deserialize, Serialize};
@@ -115,6 +115,38 @@ pub fn bench_calibration(n: usize, reps: usize) -> BenchRecord {
     }
 }
 
+/// Time a full 10-snapshot TP-matrix calibration through the fault-aware
+/// path at a 5% uniform fault rate (loss/timeouts/stragglers with
+/// retry + backoff + imputation). The metric records the campaign's probe
+/// success rate so throughput regressions and fault-handling regressions
+/// are distinguishable.
+pub fn bench_calibration_faulty(n: usize, reps: usize) -> BenchRecord {
+    let cloud = FaultyCloud::new(
+        SyntheticCloud::new(CloudConfig::ec2_like(n, 7)),
+        FaultPlan::uniform(7, 0.05),
+    );
+    let retry = RetryPolicy::default();
+    let mut success_rate = 0.0;
+    let seconds = best_of(reps, || {
+        let run = Calibrator::new().calibrate_tp_faulty_par(
+            &cloud,
+            0.0,
+            60.0,
+            10,
+            &retry,
+            ImputePolicy::LastGood,
+        );
+        success_rate = run.aggregate_log().success_rate();
+        run
+    });
+    BenchRecord {
+        name: "calibration_tp_faulty_5pct".into(),
+        n: n as u64,
+        seconds,
+        metric: success_rate,
+    }
+}
+
 /// Time 60 simulated seconds of background traffic on the paper's
 /// 1024-host tree; the metric is flows completed per wall second.
 pub fn bench_simnet(reps: usize) -> BenchRecord {
@@ -155,6 +187,12 @@ pub fn run_suite(sizes: &[usize], serial_rpca_seconds: Option<f64>, date: String
     for &n in sizes {
         let reps = if n >= 128 { 1 } else { 3 };
         records.push(bench_calibration(n, reps));
+    }
+    // Fault-handling overhead is size-independent in shape; one
+    // representative size (the paper's N = 64 when in range) suffices.
+    if let Some(&n) = sizes.iter().find(|&&n| n >= 64).or(sizes.last()) {
+        let reps = if n >= 128 { 1 } else { 3 };
+        records.push(bench_calibration_faulty(n, reps));
     }
     records.push(bench_simnet(2));
 
@@ -225,7 +263,18 @@ mod tests {
         let names: Vec<&str> = report.records.iter().map(|r| r.name.as_str()).collect();
         assert!(names.contains(&"rpca_apg_10xN2"));
         assert!(names.contains(&"calibration_tp"));
+        assert!(names.contains(&"calibration_tp_faulty_5pct"));
         assert!(names.contains(&"simnet_background_60s"));
+        let faulty = report
+            .records
+            .iter()
+            .find(|r| r.name == "calibration_tp_faulty_5pct")
+            .unwrap();
+        assert!(
+            faulty.metric > 0.5 && faulty.metric < 1.0,
+            "5% faults must show in the success rate: {}",
+            faulty.metric
+        );
         assert!(names.contains(&"rpca_10x4096_parallel"));
         assert!(names.contains(&"rpca_10x4096_speedup"));
         for r in &report.records {

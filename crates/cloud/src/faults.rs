@@ -1,0 +1,484 @@
+//! Seeded, replayable fault injection over the synthetic cloud.
+//!
+//! A real calibration campaign loses probes: packets vanish, stragglers
+//! outlive their deadline, a VM goes dark for a maintenance window, one
+//! link is persistently flaky. [`FaultPlan`] describes such an environment
+//! as plain serde-able data, and [`FaultyCloud`] applies it on top of
+//! [`SyntheticCloud`]'s ground-truth link model, exposing the
+//! [`FallibleNetworkProbe`] interface the fault-aware calibrator consumes.
+//!
+//! Every fault decision is hash-derived from
+//! `(plan.seed, stream, i, j, now, bytes)` — like the cloud's own noise
+//! sources, faults are a pure function of *when and where* a probe lands,
+//! not of call order. Two consequences worth stating:
+//!
+//! * **Replayable**: rerunning a calibration with the same plan reproduces
+//!   every loss and straggler bit for bit, on both the serial and the
+//!   parallel path.
+//! * **Transient by default**: a retry happens at a *later* simulated time
+//!   (after backoff), so it draws a fresh fault decision — transient loss
+//!   clears, exactly like the real thing. Persistent failures are modelled
+//!   explicitly (blackout windows, flaky links), not by accident of RNG.
+
+use crate::hash;
+use crate::synthetic::SyntheticCloud;
+use cloudconst_netmodel::{
+    FallibleNetworkProbe, NetworkProbe, ProbeAttempt, PureFallibleNetworkProbe, PureNetworkProbe,
+};
+use serde::{Deserialize, Serialize};
+
+/// Fault-stream tags (disjoint from the cloud's 0xA1–0xE8 noise streams).
+const STREAM_LOSS: u64 = 0xF1;
+const STREAM_TIMEOUT: u64 = 0xF2;
+const STREAM_STRAGGLE_ON: u64 = 0xF3;
+const STREAM_STRAGGLE_FAC: u64 = 0xF4;
+const STREAM_FLAKY: u64 = 0xF5;
+
+/// A maintenance/outage window during which one VM answers no probes:
+/// every attempt touching `vm` in `[start, end)` is lost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Blackout {
+    /// The affected VM index.
+    pub vm: usize,
+    /// Window start (inclusive), simulated seconds.
+    pub start: f64,
+    /// Window end (exclusive), simulated seconds.
+    pub end: f64,
+}
+
+impl Blackout {
+    /// Does this window swallow a probe between `i` and `j` at `now`?
+    pub fn covers(&self, i: usize, j: usize, now: f64) -> bool {
+        (self.vm == i || self.vm == j) && now >= self.start && now < self.end
+    }
+}
+
+/// A directed link with extra, persistent probe loss on top of the global
+/// rate — the "that one link is cursed" phenomenon.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlakyLink {
+    /// Source VM.
+    pub i: usize,
+    /// Destination VM.
+    pub j: usize,
+    /// Per-attempt loss probability on this link (in addition to the
+    /// plan-wide `loss_prob`).
+    pub loss_prob: f64,
+}
+
+/// A complete, seeded description of the faults injected into a run.
+///
+/// Serialize it next to the experiment config and the run is replayable.
+/// Probabilities are per *attempt*, so retries re-roll — which is what
+/// makes bounded retry worth its overhead.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for the fault hash streams (independent of the cloud seed).
+    pub seed: u64,
+    /// Probability an attempt is lost in flight.
+    pub loss_prob: f64,
+    /// Probability an attempt hangs past any deadline (hard timeout).
+    pub timeout_prob: f64,
+    /// Probability an attempt straggles: its true transfer time is
+    /// multiplied by a factor drawn from `straggler_factor`. A straggler
+    /// still completes if the inflated time fits the deadline.
+    pub straggler_prob: f64,
+    /// `(lo, hi)` range of the straggler multiplier (≥ 1).
+    pub straggler_factor: (f64, f64),
+    /// Per-VM outage windows.
+    pub blackouts: Vec<Blackout>,
+    /// Links with extra persistent loss.
+    pub flaky_links: Vec<FlakyLink>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing — the identity wrapper. A
+    /// [`FaultyCloud`] under this plan is bit-identical to the bare cloud.
+    pub fn none(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            loss_prob: 0.0,
+            timeout_prob: 0.0,
+            straggler_prob: 0.0,
+            straggler_factor: (1.0, 1.0),
+            blackouts: Vec::new(),
+            flaky_links: Vec::new(),
+        }
+    }
+
+    /// A plan with total per-attempt fault probability ≈ `rate`, split
+    /// evenly between loss and hard timeout, plus the same rate of
+    /// (usually recoverable) 2–6× stragglers. `rate` is clamped to
+    /// `[0, 1]`.
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        let rate = rate.clamp(0.0, 1.0);
+        FaultPlan {
+            seed,
+            loss_prob: rate * 0.5,
+            timeout_prob: rate * 0.5,
+            straggler_prob: rate,
+            straggler_factor: (2.0, 6.0),
+            blackouts: Vec::new(),
+            flaky_links: Vec::new(),
+        }
+    }
+
+    /// Does this plan inject anything at all?
+    pub fn is_fault_free(&self) -> bool {
+        self.loss_prob <= 0.0
+            && self.timeout_prob <= 0.0
+            && self.straggler_prob <= 0.0
+            && self.blackouts.is_empty()
+            && self.flaky_links.is_empty()
+    }
+
+    /// Extra loss probability from a flaky-link entry for `(i, j)`, if any.
+    fn flaky_loss(&self, i: usize, j: usize) -> f64 {
+        self.flaky_links
+            .iter()
+            .filter(|l| l.i == i && l.j == j)
+            .map(|l| l.loss_prob)
+            .fold(0.0, f64::max)
+    }
+
+    /// Apply the plan to one probe attempt whose honest duration would be
+    /// `true_secs`. Pure in `(i, j, bytes, now, deadline)` for a fixed
+    /// plan, so the parallel calibration path may call it from workers.
+    ///
+    /// Precedence: blackout → loss (flaky then global) → hard timeout →
+    /// straggler inflation → the honest deadline check every attempt gets.
+    pub fn apply(
+        &self,
+        i: usize,
+        j: usize,
+        bytes: u64,
+        now: f64,
+        deadline: f64,
+        true_secs: f64,
+    ) -> ProbeAttempt {
+        if i == j {
+            return ProbeAttempt::Ok(0.0);
+        }
+        if self.blackouts.iter().any(|b| b.covers(i, j, now)) {
+            return ProbeAttempt::Lost;
+        }
+        let tb = now.to_bits();
+        let (iu, ju) = (i as u64, j as u64);
+        let flaky = self.flaky_loss(i, j);
+        if flaky > 0.0
+            && hash::uniform(&[self.seed, STREAM_FLAKY, iu, ju, tb, bytes], 0.0, 1.0) < flaky
+        {
+            return ProbeAttempt::Lost;
+        }
+        if self.loss_prob > 0.0
+            && hash::uniform(&[self.seed, STREAM_LOSS, iu, ju, tb, bytes], 0.0, 1.0)
+                < self.loss_prob
+        {
+            return ProbeAttempt::Lost;
+        }
+        if self.timeout_prob > 0.0
+            && hash::uniform(&[self.seed, STREAM_TIMEOUT, iu, ju, tb, bytes], 0.0, 1.0)
+                < self.timeout_prob
+        {
+            return ProbeAttempt::TimedOut;
+        }
+        let mut secs = true_secs;
+        if self.straggler_prob > 0.0
+            && hash::uniform(&[self.seed, STREAM_STRAGGLE_ON, iu, ju, tb, bytes], 0.0, 1.0)
+                < self.straggler_prob
+        {
+            let (lo, hi) = self.straggler_factor;
+            secs *= hash::uniform(&[self.seed, STREAM_STRAGGLE_FAC, iu, ju, tb, bytes], lo, hi);
+        }
+        if secs > deadline {
+            ProbeAttempt::TimedOut
+        } else {
+            ProbeAttempt::Ok(secs)
+        }
+    }
+}
+
+/// [`SyntheticCloud`] plus a [`FaultPlan`]: the fault-injected view of the
+/// same ground truth.
+///
+/// The infallible [`NetworkProbe`] impls delegate straight to the inner
+/// cloud (faults only exist on the fallible path — useful for oracle
+/// comparisons), while [`FallibleNetworkProbe`] filters every attempt
+/// through the plan.
+#[derive(Debug, Clone)]
+pub struct FaultyCloud {
+    inner: SyntheticCloud,
+    plan: FaultPlan,
+}
+
+impl FaultyCloud {
+    /// Wrap a cloud with a fault plan.
+    pub fn new(inner: SyntheticCloud, plan: FaultPlan) -> Self {
+        FaultyCloud { inner, plan }
+    }
+
+    /// The wrapped cloud (ground truth, placements, …).
+    pub fn inner(&self) -> &SyntheticCloud {
+        &self.inner
+    }
+
+    /// The plan in force.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    fn attempt(&self, i: usize, j: usize, bytes: u64, now: f64, deadline: f64) -> ProbeAttempt {
+        let true_secs = self.inner.probe_pure(i, j, bytes, now);
+        self.plan.apply(i, j, bytes, now, deadline, true_secs)
+    }
+}
+
+impl NetworkProbe for FaultyCloud {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+    fn probe(&mut self, i: usize, j: usize, bytes: u64, now: f64) -> f64 {
+        self.inner.probe(i, j, bytes, now)
+    }
+}
+
+impl PureNetworkProbe for FaultyCloud {
+    fn probe_pure(&self, i: usize, j: usize, bytes: u64, now: f64) -> f64 {
+        self.inner.probe_pure(i, j, bytes, now)
+    }
+}
+
+impl FallibleNetworkProbe for FaultyCloud {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+    fn try_probe(&mut self, i: usize, j: usize, bytes: u64, now: f64, deadline: f64)
+        -> ProbeAttempt {
+        self.attempt(i, j, bytes, now, deadline)
+    }
+}
+
+impl PureFallibleNetworkProbe for FaultyCloud {
+    fn try_probe_pure(
+        &self,
+        i: usize,
+        j: usize,
+        bytes: u64,
+        now: f64,
+        deadline: f64,
+    ) -> ProbeAttempt {
+        self.attempt(i, j, bytes, now, deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CloudConfig;
+    use cloudconst_netmodel::{Calibrator, RetryPolicy, BETA_PROBE_BYTES};
+
+    fn cloud(n: usize) -> SyntheticCloud {
+        SyntheticCloud::new(CloudConfig::small_test(n, 11))
+    }
+
+    #[test]
+    fn fault_free_plan_is_transparent() {
+        let c = cloud(8);
+        let faulty = FaultyCloud::new(c.clone(), FaultPlan::none(3));
+        assert!(faulty.plan().is_fault_free());
+        for t in [0.0, 123.0, 9999.5] {
+            for (i, j) in [(0, 1), (3, 7), (5, 5)] {
+                let truth = c.probe_pure(i, j, BETA_PROBE_BYTES, t);
+                match faulty.try_probe_pure(i, j, BETA_PROBE_BYTES, t, 1e9) {
+                    ProbeAttempt::Ok(s) => assert_eq!(s.to_bits(), truth.to_bits()),
+                    other => panic!("fault-free attempt failed: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_free_faulty_cloud_calibrates_bit_identically() {
+        // The satellite determinism contract: a fault-free FaultyCloud
+        // must round-trip bit-identically to the bare SyntheticCloud on
+        // the serial AND parallel paths, including run metadata.
+        let c = SyntheticCloud::new(CloudConfig::ec2_like(16, 77));
+        let faulty = FaultyCloud::new(c.clone(), FaultPlan::none(1));
+        let cal = Calibrator::new();
+        let retry = RetryPolicy {
+            deadline: 1e9, // never clip an honest probe
+            ..RetryPolicy::default()
+        };
+
+        let plain = cal.calibrate(&mut c.clone(), 450.0);
+        let plain_par = cal.calibrate_par(&c, 450.0);
+        let ft = cal.calibrate_faulty(&mut faulty.clone(), 450.0, &retry);
+        let ft_par = cal.calibrate_faulty_par(&faulty, 450.0, &retry);
+
+        for (label, run) in [("serial", &ft), ("parallel", &ft_par)] {
+            assert_eq!(run.rounds, plain.rounds, "{label} rounds");
+            assert_eq!(
+                run.overhead.to_bits(),
+                plain.overhead.to_bits(),
+                "{label} overhead"
+            );
+            assert_eq!(run.outcomes, plain.outcomes, "{label} outcomes");
+            for i in 0..16 {
+                for j in 0..16 {
+                    let a = plain.perf.link(i, j);
+                    let b = run.perf.link(i, j);
+                    assert_eq!(a.alpha.to_bits(), b.alpha.to_bits(), "{label} α ({i},{j})");
+                    assert_eq!(a.beta.to_bits(), b.beta.to_bits(), "{label} β ({i},{j})");
+                }
+            }
+        }
+        assert_eq!(plain_par.overhead.to_bits(), plain.overhead.to_bits());
+    }
+
+    #[test]
+    fn loss_rate_roughly_matches_plan() {
+        let plan = FaultPlan {
+            loss_prob: 0.3,
+            ..FaultPlan::none(42)
+        };
+        let faulty = FaultyCloud::new(cloud(8), plan);
+        let mut lost = 0;
+        let mut total = 0;
+        for k in 0..2000 {
+            let t = k as f64 * 0.37;
+            let (i, j) = (k % 8, (k * 3 + 1) % 8);
+            if i == j {
+                continue;
+            }
+            total += 1;
+            if faulty.try_probe_pure(i, j, 1, t, 1e9) == ProbeAttempt::Lost {
+                lost += 1;
+            }
+        }
+        let rate = lost as f64 / total as f64;
+        assert!((rate - 0.3).abs() < 0.05, "observed loss rate {rate}");
+    }
+
+    #[test]
+    fn blackout_swallows_probes_touching_the_vm() {
+        let plan = FaultPlan {
+            blackouts: vec![Blackout {
+                vm: 2,
+                start: 100.0,
+                end: 200.0,
+            }],
+            ..FaultPlan::none(0)
+        };
+        let faulty = FaultyCloud::new(cloud(6), plan);
+        // Inside the window, both directions die; unrelated links do not.
+        assert_eq!(faulty.try_probe_pure(2, 4, 1, 150.0, 1e9), ProbeAttempt::Lost);
+        assert_eq!(faulty.try_probe_pure(4, 2, 1, 150.0, 1e9), ProbeAttempt::Lost);
+        assert!(matches!(
+            faulty.try_probe_pure(0, 1, 1, 150.0, 1e9),
+            ProbeAttempt::Ok(_)
+        ));
+        // Outside the window the VM answers again.
+        assert!(matches!(
+            faulty.try_probe_pure(2, 4, 1, 200.0, 1e9),
+            ProbeAttempt::Ok(_)
+        ));
+        assert!(matches!(
+            faulty.try_probe_pure(2, 4, 1, 99.9, 1e9),
+            ProbeAttempt::Ok(_)
+        ));
+    }
+
+    #[test]
+    fn flaky_link_is_directional_and_local() {
+        let plan = FaultPlan {
+            flaky_links: vec![FlakyLink {
+                i: 1,
+                j: 3,
+                loss_prob: 1.0,
+            }],
+            ..FaultPlan::none(9)
+        };
+        let faulty = FaultyCloud::new(cloud(6), plan);
+        for k in 0..20 {
+            let t = k as f64;
+            assert_eq!(faulty.try_probe_pure(1, 3, 1, t, 1e9), ProbeAttempt::Lost);
+            assert!(matches!(
+                faulty.try_probe_pure(3, 1, 1, t, 1e9),
+                ProbeAttempt::Ok(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn straggler_inflates_or_times_out() {
+        let plan = FaultPlan {
+            straggler_prob: 1.0,
+            straggler_factor: (3.0, 3.0),
+            ..FaultPlan::none(5)
+        };
+        let c = cloud(6);
+        let faulty = FaultyCloud::new(c.clone(), plan);
+        let truth = c.probe_pure(0, 1, BETA_PROBE_BYTES, 10.0);
+        match faulty.try_probe_pure(0, 1, BETA_PROBE_BYTES, 10.0, 1e9) {
+            ProbeAttempt::Ok(s) => assert!((s - 3.0 * truth).abs() < 1e-12 * truth.max(1.0)),
+            other => panic!("straggler under huge deadline: {other:?}"),
+        }
+        // A deadline under the inflated time turns the straggler into a
+        // timeout.
+        assert_eq!(
+            faulty.try_probe_pure(0, 1, BETA_PROBE_BYTES, 10.0, 2.0 * truth),
+            ProbeAttempt::TimedOut
+        );
+    }
+
+    #[test]
+    fn timeout_stream_independent_of_loss_stream() {
+        let plan = FaultPlan {
+            timeout_prob: 0.5,
+            ..FaultPlan::none(6)
+        };
+        let faulty = FaultyCloud::new(cloud(6), plan);
+        let mut timed_out = 0;
+        for k in 0..400 {
+            if faulty.try_probe_pure(0, 1, 1, k as f64, 1e9) == ProbeAttempt::TimedOut {
+                timed_out += 1;
+            }
+        }
+        assert!((100..300).contains(&timed_out), "timeouts {timed_out}/400");
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let plan = FaultPlan::uniform(13, 0.2);
+        let a = FaultyCloud::new(cloud(8), plan.clone());
+        let b = FaultyCloud::new(cloud(8), plan);
+        for k in 0..500 {
+            let t = k as f64 * 1.7;
+            let (i, j) = (k % 8, (k * 5 + 2) % 8);
+            assert_eq!(
+                a.try_probe_pure(i, j, BETA_PROBE_BYTES, t, 2.0),
+                b.try_probe_pure(i, j, BETA_PROBE_BYTES, t, 2.0)
+            );
+        }
+    }
+
+    #[test]
+    fn plan_serde_roundtrip() {
+        let plan = FaultPlan {
+            blackouts: vec![Blackout {
+                vm: 1,
+                start: 5.0,
+                end: 9.0,
+            }],
+            flaky_links: vec![FlakyLink {
+                i: 0,
+                j: 2,
+                loss_prob: 0.4,
+            }],
+            ..FaultPlan::uniform(99, 0.1)
+        };
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+}

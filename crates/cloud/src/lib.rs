@@ -24,11 +24,13 @@
 //! the same network, exactly like two tenants measuring the same wire.
 
 pub mod config;
+pub mod faults;
 pub mod hash;
 pub mod placement;
 mod synthetic;
 
 pub use config::CloudConfig;
+pub use faults::{Blackout, FaultPlan, FaultyCloud, FlakyLink};
 pub use placement::{Placement, PlacementDistance};
 pub use synthetic::SyntheticCloud;
 

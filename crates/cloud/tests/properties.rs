@@ -1,7 +1,7 @@
 //! Property-based tests of the synthetic cloud's guarantees.
 
-use cloudconst_cloud::{CloudConfig, SyntheticCloud};
-use cloudconst_netmodel::NetworkProbe;
+use cloudconst_cloud::{Blackout, CloudConfig, FaultPlan, FaultyCloud, FlakyLink, SyntheticCloud};
+use cloudconst_netmodel::{NetworkProbe, ProbeAttempt, PureFallibleNetworkProbe};
 use proptest::prelude::*;
 
 proptest! {
@@ -83,5 +83,56 @@ proptest! {
             prop_assert!(cloud.epoch_of(s) > k);
         }
         prop_assert_eq!(cloud.epoch_of(f64::MAX), sorted.len());
+    }
+
+    #[test]
+    fn fault_plan_replay_is_deterministic(
+        n in 4usize..12,
+        seed in 0u64..500,
+        fault_seed in 0u64..500,
+        rate in 0.0f64..0.5,
+        t0 in 0.0f64..1e5,
+    ) {
+        // Two independently-built FaultyClouds under the same plan must
+        // produce the same attempt outcome for every (link, time, size),
+        // regardless of probe order — faults are data, not RNG state.
+        let mut plan = FaultPlan::uniform(fault_seed, rate);
+        plan.blackouts.push(Blackout { vm: 0, start: t0 + 3.0, end: t0 + 7.0 });
+        plan.flaky_links.push(FlakyLink { i: 1, j: 2, loss_prob: 0.5 });
+        let a = FaultyCloud::new(SyntheticCloud::new(CloudConfig::small_test(n, seed)), plan.clone());
+        let b = FaultyCloud::new(SyntheticCloud::new(CloudConfig::small_test(n, seed)), plan);
+
+        let mut fwd = Vec::new();
+        for k in 0..64usize {
+            let (i, j) = (k % n, (k * 3 + 1) % n);
+            let t = t0 + k as f64 * 0.25;
+            fwd.push(a.try_probe_pure(i, j, 1 << 20, t, 2.0));
+        }
+        let mut rev = vec![ProbeAttempt::Lost; 64];
+        for k in (0..64usize).rev() {
+            let (i, j) = (k % n, (k * 3 + 1) % n);
+            let t = t0 + k as f64 * 0.25;
+            rev[k] = b.try_probe_pure(i, j, 1 << 20, t, 2.0);
+        }
+        prop_assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn fault_free_plan_never_fails_probes(n in 4usize..10, seed in 0u64..200, t in 0.0f64..1e6) {
+        let cloud = SyntheticCloud::new(CloudConfig::small_test(n, seed));
+        let faulty = FaultyCloud::new(cloud.clone(), FaultPlan::none(seed ^ 0xF));
+        for i in 0..n {
+            for j in 0..n {
+                match faulty.try_probe_pure(i, j, 1 << 20, t, 1e9) {
+                    ProbeAttempt::Ok(s) => {
+                        let truth = cloudconst_netmodel::PureNetworkProbe::probe_pure(
+                            &cloud, i, j, 1 << 20, t,
+                        );
+                        prop_assert_eq!(s.to_bits(), truth.to_bits());
+                    }
+                    other => prop_assert!(false, "({i},{j}): {other:?}"),
+                }
+            }
+        }
     }
 }

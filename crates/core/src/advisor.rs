@@ -1,10 +1,13 @@
 //! Algorithm 1: the adaptive RPCA-based advisor.
 
-use crate::estimator::{estimate, ConstantEstimate, EstimatorKind};
+use crate::estimator::{estimate_with_opts, ConstantEstimate, DegradedPolicy, EstimatorKind};
 use crate::{CoreError, Result};
 use cloudconst_netmodel::{
-    CalibrationConfig, Calibrator, NetworkProbe, PerfMatrix, PureNetworkProbe, TpMatrix,
+    CalibrationConfig, Calibrator, FallibleNetworkProbe, FaultyTpRun, ImputePolicy,
+    NetworkProbe, PerfMatrix, ProbeLog, ProbeOutcome, PureFallibleNetworkProbe,
+    PureNetworkProbe, RetryPolicy, TpMatrix,
 };
+use cloudconst_rpca::{ApgOptions, RpcaError};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the advisor loop.
@@ -22,6 +25,22 @@ pub struct AdvisorConfig {
     pub estimator: EstimatorKind,
     /// Probe protocol parameters.
     pub calibration: CalibrationConfig,
+    /// Per-probe deadline and retry/backoff for the fault-aware
+    /// calibration path ([`Advisor::calibrate_faulty`]).
+    pub retry: RetryPolicy,
+    /// How unobserved TP-matrix cells are filled on the fault-aware path.
+    pub impute: ImputePolicy,
+    /// What to do when the RPCA solver exhausts its budget (applies to
+    /// every calibration path; the default `Fail` reproduces the historic
+    /// strict behaviour exactly).
+    pub degraded: DegradedPolicy,
+    /// Quarantine a link after this many *consecutive snapshots* in which
+    /// every probe of the link failed. Quarantined links no longer trigger
+    /// maintenance re-calibration (see [`Advisor::check_link`]); a single
+    /// successful probe lifts the quarantine.
+    pub quarantine_after: u32,
+    /// APG solver options (relevant to [`EstimatorKind::Rpca`] only).
+    pub rpca: ApgOptions,
 }
 
 impl Default for AdvisorConfig {
@@ -35,8 +54,45 @@ impl Default for AdvisorConfig {
             threshold: 1.0,
             estimator: EstimatorKind::Rpca,
             calibration: CalibrationConfig::default(),
+            retry: RetryPolicy::default(),
+            impute: ImputePolicy::LastGood,
+            degraded: DegradedPolicy::Fail,
+            quarantine_after: 3,
+            rpca: ApgOptions::default(),
         }
     }
+}
+
+/// A truthful account of how the advisor's current model was obtained —
+/// what an operator (or an optimization layer deciding how much to trust
+/// the guidance) needs to know about probe health and model freshness.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// Fraction of probe attempts in the model's calibration campaign that
+    /// returned a measurement (1.0 when the model came from the infallible
+    /// path, which records no attempt statistics).
+    pub probe_success_rate: f64,
+    /// Total probe attempts in the campaign.
+    pub attempts: u64,
+    /// Attempts beyond the first for any (link, phase).
+    pub retries: u64,
+    /// Attempts that ended in a timeout.
+    pub timeouts: u64,
+    /// Attempts that ended in a loss.
+    pub losses: u64,
+    /// Fraction of the model's TP-matrix cells that were imputed rather
+    /// than measured.
+    pub masked_fraction: f64,
+    /// Seconds since the model in force was calibrated.
+    pub model_age: f64,
+    /// True when the model is running in degraded mode: either it came
+    /// from a non-converged partial decomposition accepted under
+    /// [`DegradedPolicy::AcceptNearTolerance`], or the last calibration
+    /// fell back to this (older) model under
+    /// [`DegradedPolicy::FallBackToPrevious`].
+    pub degraded: bool,
+    /// Directed links currently quarantined for persistent probe failure.
+    pub quarantined: Vec<(usize, usize)>,
 }
 
 /// The advisor's current model of the network.
@@ -77,6 +133,16 @@ pub struct Advisor {
     cfg: AdvisorConfig,
     model: Option<ModelState>,
     calibrations: usize,
+    /// Aggregate probe counters of the last fault-aware campaign.
+    probe_stats: Option<ProbeLog>,
+    /// Consecutive fully-failed snapshots per directed link (`N²`,
+    /// row-major), feeding the quarantine list.
+    fail_streaks: Vec<u32>,
+    /// Directed links currently quarantined, sorted.
+    quarantined: Vec<(usize, usize)>,
+    /// True when the last calibration kept the previous model under
+    /// [`DegradedPolicy::FallBackToPrevious`].
+    fell_back: bool,
 }
 
 impl Advisor {
@@ -86,6 +152,10 @@ impl Advisor {
             cfg,
             model: None,
             calibrations: 0,
+            probe_stats: None,
+            fail_streaks: Vec::new(),
+            quarantined: Vec::new(),
+            fell_back: false,
         }
     }
 
@@ -98,6 +168,11 @@ impl Advisor {
     /// The active configuration.
     pub fn config(&self) -> &AdvisorConfig {
         &self.cfg
+    }
+
+    /// Mutable access to the configuration (tuning between calibrations).
+    pub fn config_mut(&mut self) -> &mut AdvisorConfig {
+        &mut self.cfg
     }
 
     /// Lines 1–2: calibrate a fresh TP-matrix and rebuild the model.
@@ -127,16 +202,172 @@ impl Advisor {
         self.install_model(tp, overhead, now)
     }
 
+    /// Fault-aware lines 1–2: calibrate through the fallible probe path
+    /// with the configured retry/backoff, impute-and-mask unobserved
+    /// cells, update link-failure streaks and the quarantine list, then
+    /// rebuild the model under the configured [`DegradedPolicy`].
+    pub fn calibrate_faulty<P: FallibleNetworkProbe>(
+        &mut self,
+        probe: &mut P,
+        now: f64,
+    ) -> Result<&ModelState> {
+        let calibrator = Calibrator {
+            config: self.cfg.calibration.clone(),
+        };
+        let run = calibrator.calibrate_tp_faulty(
+            probe,
+            now,
+            self.cfg.snapshot_interval,
+            self.cfg.time_step,
+            &self.cfg.retry,
+            self.cfg.impute,
+        );
+        self.finish_faulty(run, now)
+    }
+
+    /// Parallel twin of [`Advisor::calibrate_faulty`]; bit-identical to it
+    /// for pure fallible probes.
+    pub fn calibrate_faulty_par<P: PureFallibleNetworkProbe>(
+        &mut self,
+        probe: &P,
+        now: f64,
+    ) -> Result<&ModelState> {
+        let calibrator = Calibrator {
+            config: self.cfg.calibration.clone(),
+        };
+        let run = calibrator.calibrate_tp_faulty_par(
+            probe,
+            now,
+            self.cfg.snapshot_interval,
+            self.cfg.time_step,
+            &self.cfg.retry,
+            self.cfg.impute,
+        );
+        self.finish_faulty(run, now)
+    }
+
+    fn finish_faulty(&mut self, run: FaultyTpRun, now: f64) -> Result<&ModelState> {
+        self.update_link_health(&run.logs);
+        self.probe_stats = Some(run.aggregate_log());
+        let FaultyTpRun { tp, overhead, .. } = run;
+        self.install_model(tp, overhead, now)
+    }
+
+    /// Walk the campaign's snapshots in time order, extending or resetting
+    /// each link's consecutive-failure streak and maintaining the
+    /// quarantine list.
+    fn update_link_health(&mut self, logs: &[ProbeLog]) {
+        let Some(first) = logs.first() else { return };
+        let n = first.n();
+        if self.fail_streaks.len() != n * n {
+            self.fail_streaks = vec![0; n * n];
+            self.quarantined.clear();
+        }
+        for log in logs {
+            for i in 0..n {
+                for j in 0..n {
+                    if i == j {
+                        continue;
+                    }
+                    let k = i * n + j;
+                    match log.outcome(i, j) {
+                        ProbeOutcome::Failed(_) => {
+                            self.fail_streaks[k] += 1;
+                            if self.fail_streaks[k] >= self.cfg.quarantine_after
+                                && !self.quarantined.contains(&(i, j))
+                            {
+                                self.quarantined.push((i, j));
+                            }
+                        }
+                        ProbeOutcome::Ok(_) => {
+                            self.fail_streaks[k] = 0;
+                            self.quarantined.retain(|&l| l != (i, j));
+                        }
+                        ProbeOutcome::Unprobed => {}
+                    }
+                }
+            }
+        }
+        self.quarantined.sort_unstable();
+    }
+
     fn install_model(&mut self, tp: TpMatrix, overhead: f64, now: f64) -> Result<&ModelState> {
-        let est = estimate(&tp, self.cfg.estimator)?;
-        self.calibrations += 1;
-        self.model = Some(ModelState {
-            estimate: est,
-            calibrated_at: now,
-            calibration_overhead: overhead,
-            tp,
-        });
-        Ok(self.model.as_ref().unwrap())
+        self.fell_back = false;
+        match estimate_with_opts(&tp, self.cfg.estimator, self.cfg.degraded, &self.cfg.rpca) {
+            Ok(est) => {
+                self.calibrations += 1;
+                self.model = Some(ModelState {
+                    estimate: est,
+                    calibrated_at: now,
+                    calibration_overhead: overhead,
+                    tp,
+                });
+                Ok(self.model.as_ref().unwrap())
+            }
+            Err(CoreError::Rpca(RpcaError::NoConvergence { .. }))
+                if self.cfg.degraded == DegradedPolicy::FallBackToPrevious
+                    && self.model.is_some() =>
+            {
+                // Keep the previous model rather than installing a
+                // non-converged solve; the health report flags the
+                // staleness via `degraded` and `model_age`.
+                self.calibrations += 1;
+                self.fell_back = true;
+                Ok(self.model.as_ref().unwrap())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// A truthful summary of model provenance and probe health at time
+    /// `now`. Errors with [`CoreError::NotCalibrated`] before the first
+    /// model is installed.
+    pub fn health(&self, now: f64) -> Result<HealthReport> {
+        let model = self.model.as_ref().ok_or(CoreError::NotCalibrated)?;
+        let (rate, attempts, retries, timeouts, losses) = match &self.probe_stats {
+            Some(s) => (s.success_rate(), s.attempts, s.retries, s.timeouts, s.losses),
+            // Infallible path: every probe succeeded by construction, but
+            // no attempt counters were recorded.
+            None => (1.0, 0, 0, 0, 0),
+        };
+        Ok(HealthReport {
+            probe_success_rate: rate,
+            attempts,
+            retries,
+            timeouts,
+            losses,
+            masked_fraction: model.tp.masked_fraction(),
+            model_age: now - model.calibrated_at,
+            degraded: model.estimate.degraded || self.fell_back,
+            quarantined: self.quarantined.clone(),
+        })
+    }
+
+    /// Directed links currently quarantined for persistent probe failure.
+    pub fn quarantined(&self) -> &[(usize, usize)] {
+        &self.quarantined
+    }
+
+    /// Is the directed link `(i, j)` quarantined?
+    pub fn is_quarantined(&self, i: usize, j: usize) -> bool {
+        self.quarantined.binary_search(&(i, j)).is_ok()
+    }
+
+    /// Line 6 for an observation attributable to one link: a quarantined
+    /// link is *expected* to misbehave, so it never triggers
+    /// re-calibration — Algorithm 1 would otherwise loop forever
+    /// recalibrating a cluster whose fault is local and persistent.
+    pub fn check_link(
+        &self,
+        i: usize,
+        j: usize,
+        expected: f64,
+        observed: f64,
+    ) -> MaintenanceDecision {
+        if self.is_quarantined(i, j) {
+            return MaintenanceDecision::Keep;
+        }
+        self.check(expected, observed)
     }
 
     /// The model, if calibrated.
@@ -204,7 +435,7 @@ impl Advisor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cloudconst_cloud::{CloudConfig, SyntheticCloud};
+    use cloudconst_cloud::{CloudConfig, FaultPlan, FaultyCloud, FlakyLink, SyntheticCloud};
     use cloudconst_netmodel::BETA_PROBE_BYTES;
 
     fn quick_cfg() -> AdvisorConfig {
@@ -319,6 +550,134 @@ mod tests {
             .ground_truth(0)
             .transfer_time(0, 1, BETA_PROBE_BYTES);
         assert!((t - truth).abs() / truth < 0.05);
+    }
+
+    #[test]
+    fn fault_free_faulty_path_builds_identical_model_and_clean_health() {
+        let cloud = SyntheticCloud::new(CloudConfig::ec2_like(12, 6));
+        let faulty = FaultyCloud::new(cloud.clone(), FaultPlan::none(1));
+        let mut plain = Advisor::new(quick_cfg());
+        let mut ft = Advisor::new(AdvisorConfig {
+            retry: RetryPolicy {
+                deadline: 1e9,
+                ..RetryPolicy::default()
+            },
+            ..quick_cfg()
+        });
+        plain.calibrate(&mut cloud.clone(), 0.0).unwrap();
+        ft.calibrate_faulty_par(&faulty, 0.0).unwrap();
+        let (mp, mf) = (plain.model().unwrap(), ft.model().unwrap());
+        assert_eq!(
+            mp.calibration_overhead.to_bits(),
+            mf.calibration_overhead.to_bits()
+        );
+        assert_eq!(mp.estimate.norm_ne.to_bits(), mf.estimate.norm_ne.to_bits());
+        for i in 0..12 {
+            for j in 0..12 {
+                let a = mp.estimate.perf.link(i, j);
+                let b = mf.estimate.perf.link(i, j);
+                assert_eq!(a.alpha.to_bits(), b.alpha.to_bits(), "alpha ({i},{j})");
+                assert_eq!(a.beta.to_bits(), b.beta.to_bits(), "beta ({i},{j})");
+            }
+        }
+        let h = ft.health(100.0).unwrap();
+        assert_eq!(h.probe_success_rate, 1.0);
+        assert!(h.attempts > 0);
+        assert_eq!(h.retries + h.timeouts + h.losses, 0);
+        assert_eq!(h.masked_fraction, 0.0);
+        assert_eq!(h.model_age, 100.0);
+        assert!(!h.degraded);
+        assert!(h.quarantined.is_empty());
+    }
+
+    #[test]
+    fn faulty_calibration_reports_truthful_health() {
+        let cloud = SyntheticCloud::new(CloudConfig::small_test(10, 21));
+        let faulty = FaultyCloud::new(cloud, FaultPlan::uniform(7, 0.10));
+        let mut advisor = Advisor::new(AdvisorConfig {
+            degraded: DegradedPolicy::AcceptNearTolerance(0.05),
+            ..quick_cfg()
+        });
+        advisor.calibrate_faulty_par(&faulty, 0.0).unwrap();
+        let h = advisor.health(50.0).unwrap();
+        assert!(h.probe_success_rate < 1.0, "faults must show in the rate");
+        assert!(h.probe_success_rate > 0.5, "10% faults with retries");
+        assert!(h.retries > 0, "retries must be counted");
+        assert!(h.timeouts + h.losses > 0);
+        assert!(
+            h.attempts > 2 * 10 * 9 * 5,
+            "retries must inflate attempts past the fault-free floor"
+        );
+        assert!((0.0..0.5).contains(&h.masked_fraction));
+    }
+
+    #[test]
+    fn fall_back_to_previous_keeps_old_model() {
+        let cloud = SyntheticCloud::new(CloudConfig::ec2_like(8, 15));
+        let faulty = FaultyCloud::new(cloud.clone(), FaultPlan::none(2));
+        let mut advisor = Advisor::new(quick_cfg());
+        advisor.calibrate(&mut cloud.clone(), 0.0).unwrap();
+        let before = advisor.model().unwrap().estimate.perf.clone();
+
+        // Starve the solver and ask for fall-back: the re-calibration must
+        // keep the old model and flag degraded mode.
+        advisor.config_mut().rpca.max_iters = 10;
+        advisor.config_mut().degraded = DegradedPolicy::FallBackToPrevious;
+        advisor.calibrate_faulty_par(&faulty, 5000.0).unwrap();
+        let m = advisor.model().unwrap();
+        assert_eq!(m.calibrated_at, 0.0, "old model must stay in force");
+        for i in 0..8 {
+            for j in 0..8 {
+                assert_eq!(
+                    m.estimate.perf.link(i, j).alpha.to_bits(),
+                    before.link(i, j).alpha.to_bits()
+                );
+            }
+        }
+        let h = advisor.health(5000.0).unwrap();
+        assert!(h.degraded, "fall-back must be reported");
+        assert_eq!(h.model_age, 5000.0);
+
+        // Strict mode with the same starved solver errors instead.
+        advisor.config_mut().degraded = DegradedPolicy::Fail;
+        assert!(advisor.calibrate_faulty_par(&faulty, 6000.0).is_err());
+    }
+
+    #[test]
+    fn persistently_failing_link_is_quarantined_not_recalibrated() {
+        let cloud = SyntheticCloud::new(CloudConfig::small_test(8, 9));
+        let plan = FaultPlan {
+            flaky_links: vec![FlakyLink {
+                i: 0,
+                j: 1,
+                loss_prob: 1.0,
+            }],
+            ..FaultPlan::none(4)
+        };
+        let faulty = FaultyCloud::new(cloud.clone(), plan);
+        let mut advisor = Advisor::new(quick_cfg()); // time_step 5 ≥ quarantine_after 3
+        advisor.calibrate_faulty_par(&faulty, 0.0).unwrap();
+        assert_eq!(advisor.quarantined(), &[(0, 1)]);
+        assert!(advisor.is_quarantined(0, 1));
+        assert!(!advisor.is_quarantined(1, 0));
+        let h = advisor.health(0.0).unwrap();
+        assert_eq!(h.quarantined, vec![(0, 1)]);
+
+        // The quarantined link's wild observation does NOT demand
+        // re-calibration; a healthy link's does.
+        assert_eq!(
+            advisor.check_link(0, 1, 1.0, 100.0),
+            MaintenanceDecision::Keep
+        );
+        assert_eq!(
+            advisor.check_link(2, 3, 1.0, 100.0),
+            MaintenanceDecision::Recalibrate
+        );
+
+        // Once the link heals, the next campaign lifts the quarantine.
+        let healed = FaultyCloud::new(cloud, FaultPlan::none(4));
+        advisor.calibrate_faulty_par(&healed, 10_000.0).unwrap();
+        assert!(advisor.quarantined().is_empty());
     }
 
     #[test]

@@ -4,9 +4,34 @@ use crate::{CoreError, Result};
 use cloudconst_linalg::Mat;
 use cloudconst_netmodel::{PerfMatrix, TpMatrix, BETA_PROBE_BYTES};
 use cloudconst_rpca::{
-    apg, constant_matrix, extract_constant, metrics, ApgOptions, ConstantMethod,
+    apg, constant_matrix, extract_constant, metrics, ApgOptions, ConstantMethod, RpcaError,
 };
 use serde::{Deserialize, Serialize};
+
+/// What to do when the RPCA solver exhausts its iteration budget
+/// ([`RpcaError::NoConvergence`]) instead of converging.
+///
+/// The error carries a rescaled partial decomposition together with its
+/// relative residual; a near-tolerance partial split is usually still a
+/// usable constant estimate, and a fault-degraded calibration campaign is
+/// exactly when the solver is most likely to need more iterations than the
+/// budget allows. The policy makes the trade-off explicit instead of
+/// hard-failing the calibration.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum DegradedPolicy {
+    /// Strict mode (the default): any non-convergence is an error.
+    #[default]
+    Fail,
+    /// Accept the partial decomposition when its relative residual
+    /// `‖A − D − E‖_F / ‖A‖_F` is at most the payload ε; the resulting
+    /// estimate is flagged [`ConstantEstimate::degraded`].
+    AcceptNearTolerance(f64),
+    /// Advisor-level policy: keep the previously installed model instead
+    /// of replacing it with a non-converged solve. At the bare
+    /// [`estimate_with`] level (where there is no previous model) this
+    /// behaves like [`DegradedPolicy::Fail`].
+    FallBackToPrevious,
+}
 
 /// How to reduce a TP-matrix to one constant performance matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -38,12 +63,18 @@ pub struct ConstantEstimate {
     /// The estimated long-term all-link performance (`P_D`).
     pub perf: PerfMatrix,
     /// `Norm(N_E)` — thresholded-count form (paper §IV-A), computed in the
-    /// transfer-time domain at the 8 MB calibration size.
+    /// transfer-time domain at the 8 MB calibration size. When the
+    /// TP-matrix carries imputed cells, those are excluded from the count
+    /// (masked accounting).
     pub norm_ne: f64,
     /// ℓ₁ form of the same ratio (smooth; used for trend plots).
     pub norm_ne_l1: f64,
     /// RPCA iterations (0 for heuristic estimators).
     pub solver_iters: usize,
+    /// True when the estimate came from a non-converged partial
+    /// decomposition accepted under
+    /// [`DegradedPolicy::AcceptNearTolerance`].
+    pub degraded: bool,
 }
 
 /// Estimate the constant component of `tp` with the chosen estimator.
@@ -51,16 +82,41 @@ pub struct ConstantEstimate {
 /// All estimators report `Norm(N_E)` against the same reference: the
 /// TP-matrix in the transfer-time domain at the paper's 8 MB probe size,
 /// with the estimate expanded to the rank-one `N_D` and `N_E = N_A − N_D`.
+/// Strict about solver convergence; see [`estimate_with`] for the
+/// degraded-mode variant.
 pub fn estimate(tp: &TpMatrix, kind: EstimatorKind) -> Result<ConstantEstimate> {
+    estimate_with(tp, kind, DegradedPolicy::Fail)
+}
+
+/// [`estimate`] with an explicit [`DegradedPolicy`] and default solver
+/// options.
+pub fn estimate_with(
+    tp: &TpMatrix,
+    kind: EstimatorKind,
+    policy: DegradedPolicy,
+) -> Result<ConstantEstimate> {
+    estimate_with_opts(tp, kind, policy, &ApgOptions::default())
+}
+
+/// Full-control variant of [`estimate`]: choose the degraded-mode policy
+/// and the APG solver options (the latter matter only for
+/// [`EstimatorKind::Rpca`]).
+pub fn estimate_with_opts(
+    tp: &TpMatrix,
+    kind: EstimatorKind,
+    policy: DegradedPolicy,
+    opts: &ApgOptions,
+) -> Result<ConstantEstimate> {
     if tp.steps() == 0 {
         return Err(CoreError::EmptyTpMatrix);
     }
     let n = tp.n();
+    let mut degraded = false;
     let (alpha_row, inv_beta_row, iters) = match kind {
         EstimatorKind::Rpca => {
-            let opts = ApgOptions::default();
-            let ra = run_rpca(tp.alpha_matrix(), &opts)?;
-            let rb = run_rpca(tp.inv_beta_matrix(), &opts)?;
+            let ra = run_rpca(tp.alpha_matrix(), opts, policy)?;
+            let rb = run_rpca(tp.inv_beta_matrix(), opts, policy)?;
+            degraded = ra.2 || rb.2;
             let a = extract_constant(&ra.0, ConstantMethod::TopSingular)
                 .map_err(CoreError::Rpca)?;
             let b = extract_constant(&rb.0, ConstantMethod::TopSingular)
@@ -116,19 +172,50 @@ pub fn estimate(tp: &TpMatrix, kind: EstimatorKind) -> Result<ConstantEstimate> 
     let n_d = constant_matrix(&weight_row, tp.steps());
     let n_e = n_a.sub(&n_d).expect("same shape");
 
+    // Imputed cells were never measured: exclude them from the sparsity
+    // statistic so fill values cannot pollute `Norm(N_E)`. A fully
+    // observed matrix takes the identical unmasked path as before.
+    let (norm_ne, norm_ne_l1) = if tp.masked_fraction() > 0.0 {
+        let mask = tp.mask_matrix();
+        (
+            metrics::norm_ne_masked(&n_e, &n_a, mask),
+            metrics::norm_ne_l1_masked(&n_e, &n_a, mask),
+        )
+    } else {
+        (metrics::norm_ne(&n_e, &n_a), metrics::norm_ne_l1(&n_e, &n_a))
+    };
+
     Ok(ConstantEstimate {
         perf,
-        norm_ne: metrics::norm_ne(&n_e, &n_a),
-        norm_ne_l1: metrics::norm_ne_l1(&n_e, &n_a),
+        norm_ne,
+        norm_ne_l1,
         solver_iters: iters,
+        degraded,
     })
 }
 
-fn run_rpca(m: &Mat, opts: &ApgOptions) -> Result<(Mat, usize)> {
+/// Run one APG solve, applying the degraded-mode policy to a
+/// [`RpcaError::NoConvergence`]. Returns `(low_rank, iters, degraded)`.
+fn run_rpca(m: &Mat, opts: &ApgOptions, policy: DegradedPolicy) -> Result<(Mat, usize, bool)> {
     match apg(m, opts) {
-        Ok(r) => Ok((r.d, r.iters)),
-        // A budget-exhausted solve still carries a usable (if imperfect)
-        // low-rank estimate only when the residual is tiny; otherwise fail.
+        Ok(r) => Ok((r.d, r.iters, false)),
+        Err(RpcaError::NoConvergence {
+            iters,
+            residual,
+            partial,
+        }) => match policy {
+            // A budget-exhausted solve carries a rescaled partial split;
+            // accept it when the caller declared a residual it can live
+            // with, and flag the estimate as degraded.
+            DegradedPolicy::AcceptNearTolerance(eps) if residual <= eps => {
+                Ok((partial.d, iters, true))
+            }
+            _ => Err(CoreError::Rpca(RpcaError::NoConvergence {
+                iters,
+                residual,
+                partial,
+            })),
+        },
         Err(e) => Err(CoreError::Rpca(e)),
     }
 }
@@ -279,6 +366,108 @@ mod tests {
         let est = estimate(&tp, EstimatorKind::Rpca).unwrap();
         assert!(est.norm_ne < 0.02, "norm_ne {}", est.norm_ne);
         assert!(est.norm_ne_l1 < 0.02, "norm_ne_l1 {}", est.norm_ne_l1);
+    }
+
+    #[test]
+    fn degraded_policy_consumes_no_convergence_partial() {
+        let (tp, truth) = tp_with_spike(6, 10);
+        // Starve the solver so it cannot converge (this fixture needs 74
+        // iterations; at 50 the residual is ~0.6% — near tolerance)…
+        let opts = ApgOptions {
+            max_iters: 50,
+            ..ApgOptions::default()
+        };
+        // …strict mode refuses the partial…
+        let strict = estimate_with_opts(&tp, EstimatorKind::Rpca, DegradedPolicy::Fail, &opts);
+        assert!(
+            matches!(
+                strict,
+                Err(CoreError::Rpca(
+                    cloudconst_rpca::RpcaError::NoConvergence { .. }
+                ))
+            ),
+            "expected NoConvergence, got {strict:?}"
+        );
+        // …FallBackToPrevious has nothing to fall back to at this level…
+        assert!(estimate_with_opts(
+            &tp,
+            EstimatorKind::Rpca,
+            DegradedPolicy::FallBackToPrevious,
+            &opts
+        )
+        .is_err());
+        // …but AcceptNearTolerance consumes the rescaled partial and flags
+        // the estimate.
+        let degraded = estimate_with_opts(
+            &tp,
+            EstimatorKind::Rpca,
+            DegradedPolicy::AcceptNearTolerance(0.02),
+            &opts,
+        )
+        .unwrap();
+        assert!(degraded.degraded, "estimate must be flagged degraded");
+        assert!(degraded.solver_iters > 0);
+        // The near-tolerance partial is a usable estimate on every link.
+        for i in 0..6 {
+            for j in 0..6 {
+                if i == j {
+                    continue;
+                }
+                let a = degraded.perf.transfer_time(i, j, BETA_PROBE_BYTES);
+                let b = truth.transfer_time(i, j, BETA_PROBE_BYTES);
+                assert!(
+                    a.is_finite() && a > 0.0 && (a - b).abs() / b < 0.25,
+                    "({i},{j}): degraded {a} vs truth {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn accept_near_tolerance_rejects_residual_above_epsilon() {
+        let (tp, _) = tp_with_spike(6, 10);
+        let opts = ApgOptions {
+            max_iters: 50,
+            ..ApgOptions::default()
+        };
+        // An ε no starved solve can meet: the policy must refuse.
+        let r = estimate_with_opts(
+            &tp,
+            EstimatorKind::Rpca,
+            DegradedPolicy::AcceptNearTolerance(1e-300),
+            &opts,
+        );
+        assert!(r.is_err(), "residual above epsilon must still fail");
+    }
+
+    #[test]
+    fn converged_estimate_is_not_flagged_degraded() {
+        let (tp, _) = tp_with_spike(6, 10);
+        let est = estimate_with(&tp, EstimatorKind::Rpca, DegradedPolicy::AcceptNearTolerance(0.5))
+            .unwrap();
+        assert!(!est.degraded);
+    }
+
+    #[test]
+    fn masked_tp_uses_masked_norm_accounting() {
+        use cloudconst_netmodel::ImputePolicy;
+        let truth = PerfMatrix::from_fn(5, |i, j| {
+            LinkPerf::new(1e-4 * (1 + i) as f64, 1e8 * (1 + j) as f64)
+        });
+        // Clean history, then a snapshot where link (0,1) went unobserved.
+        let mut tp = TpMatrix::new(5);
+        for k in 0..6 {
+            tp.push(k as f64, &truth);
+        }
+        let mut observed = vec![true; 25];
+        observed[1] = false; // (0,1)
+        tp.push_masked(6.0, &truth, &observed, ImputePolicy::LastGood);
+        assert!(tp.masked_fraction() > 0.0);
+        let est = estimate(&tp, EstimatorKind::Rpca).unwrap();
+        // LastGood imputation restores the constant exactly, so the error
+        // stays near zero — and the masked cell cannot contribute at all.
+        assert!(est.norm_ne < 0.02, "norm_ne {}", est.norm_ne);
+        assert!(!est.degraded);
     }
 
     #[test]

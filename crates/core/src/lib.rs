@@ -21,9 +21,11 @@ pub mod effectiveness;
 pub mod estimator;
 pub mod noise;
 
-pub use advisor::{Advisor, AdvisorConfig, MaintenanceDecision, ModelState};
+pub use advisor::{Advisor, AdvisorConfig, HealthReport, MaintenanceDecision, ModelState};
 pub use effectiveness::{classify, EffectivenessBand};
-pub use estimator::{estimate, ConstantEstimate, EstimatorKind};
+pub use estimator::{
+    estimate, estimate_with, estimate_with_opts, ConstantEstimate, DegradedPolicy, EstimatorKind,
+};
 pub use noise::{inject_noise, inject_noise_until, NoiseConfig};
 
 /// Errors surfaced by the advisor pipeline.

@@ -12,8 +12,12 @@
 //! the paper uses.
 
 use crate::alpha_beta::LinkPerf;
+use crate::fallible::{
+    FallibleNetworkProbe, ProbeAttempt, ProbeLog, ProbeOutcome, PureFallibleNetworkProbe,
+    RetryPolicy,
+};
 use crate::perf_matrix::PerfMatrix;
-use crate::tp_matrix::TpMatrix;
+use crate::tp_matrix::{ImputePolicy, TpMatrix};
 use crate::{NetworkProbe, PureNetworkProbe, ALPHA_PROBE_BYTES, BETA_PROBE_BYTES};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -79,13 +83,74 @@ impl Default for CalibrationConfig {
 /// Outcome of one all-link calibration.
 #[derive(Debug, Clone)]
 pub struct CalibrationRun {
-    /// The measured all-link snapshot.
+    /// The measured all-link snapshot. Cells whose outcome is
+    /// [`ProbeOutcome::Failed`] hold the `PerfMatrix::ideal` placeholder —
+    /// consumers must consult [`CalibrationRun::outcomes`] (or build the
+    /// TP-matrix through `push_masked`) rather than trust them.
     pub perf: PerfMatrix,
     /// Wall time the calibration occupied on the (simulated) network: the
-    /// per-round maxima summed over rounds.
+    /// per-round maxima summed over rounds, including retry backoff and
+    /// timed-out deadlines on the fallible paths.
     pub overhead: f64,
     /// Number of probe rounds executed.
     pub rounds: usize,
+    /// Per-cell probe outcomes and aggregate attempt counters. The
+    /// infallible paths record an all-success log.
+    pub outcomes: ProbeLog,
+}
+
+/// What happened to one (pair, phase) across its retry budget.
+#[derive(Debug, Clone, Copy)]
+struct AttemptSeries {
+    /// The measurement, if any attempt completed.
+    measured: Option<f64>,
+    /// Total simulated seconds the pair spent on this phase: backoff waits,
+    /// burnt deadlines, and the successful attempt's own time.
+    consumed: f64,
+    /// Attempts issued (≥ 1).
+    attempts: u32,
+    timeouts: u32,
+    losses: u32,
+}
+
+/// Drive one (pair, phase) through the retry policy. `try_at` attempts the
+/// probe at an absolute time and is called with strictly increasing times
+/// as deadlines burn and backoff accumulates — each retry sees the network
+/// as of its own start instant, so a transient fault can clear.
+fn run_attempts(mut try_at: impl FnMut(f64) -> ProbeAttempt, start: f64, retry: &RetryPolicy) -> AttemptSeries {
+    let mut consumed = 0.0;
+    let mut timeouts = 0;
+    let mut losses = 0;
+    let max_attempts = retry.max_attempts.max(1);
+    for k in 1..=max_attempts {
+        consumed += retry.backoff(k);
+        match try_at(start + consumed) {
+            ProbeAttempt::Ok(secs) => {
+                return AttemptSeries {
+                    measured: Some(secs),
+                    consumed: consumed + secs,
+                    attempts: k,
+                    timeouts,
+                    losses,
+                }
+            }
+            ProbeAttempt::TimedOut => {
+                timeouts += 1;
+                consumed += retry.deadline;
+            }
+            ProbeAttempt::Lost => {
+                losses += 1;
+                consumed += retry.deadline;
+            }
+        }
+    }
+    AttemptSeries {
+        measured: None,
+        consumed,
+        attempts: max_attempts,
+        timeouts,
+        losses,
+    }
 }
 
 /// Drives a [`NetworkProbe`] through the calibration protocol.
@@ -152,6 +217,7 @@ impl Calibrator {
             perf,
             overhead: clock - now,
             rounds,
+            outcomes: ProbeLog::all_ok(n),
         }
     }
 
@@ -223,6 +289,141 @@ impl Calibrator {
             perf,
             overhead: clock - now,
             rounds,
+            outcomes: ProbeLog::all_ok(n),
+        }
+    }
+
+    /// Measure the all-link matrix through a fallible probe: every (pair,
+    /// phase) gets a per-attempt deadline and the bounded retry/backoff of
+    /// `retry`; cells whose attempts all fail are recorded as
+    /// [`ProbeOutcome::Failed`] instead of fabricating a value.
+    ///
+    /// With a fault-free backend every attempt succeeds first try, backoff
+    /// never engages, and the result — matrix, overhead and round count —
+    /// is bit-identical to [`Calibrator::calibrate`] (pinned by tests).
+    pub fn calibrate_faulty<P: FallibleNetworkProbe>(
+        &self,
+        probe: &mut P,
+        now: f64,
+        retry: &RetryPolicy,
+    ) -> CalibrationRun {
+        let n = probe.n();
+        self.drive_faulty(n, now, |pairs, bytes, at| {
+            pairs
+                .iter()
+                .map(|&(i, j)| {
+                    run_attempts(|t| probe.try_probe(i, j, bytes, t, retry.deadline), at, retry)
+                })
+                .collect()
+        })
+    }
+
+    /// Parallel twin of [`Calibrator::calibrate_faulty`]: each round's
+    /// pairs run their whole retry series on worker threads. Bit-identical
+    /// to the serial path for pure fallible probes.
+    pub fn calibrate_faulty_par<P: PureFallibleNetworkProbe>(
+        &self,
+        probe: &P,
+        now: f64,
+        retry: &RetryPolicy,
+    ) -> CalibrationRun {
+        let n = probe.n();
+        self.drive_faulty(n, now, |pairs, bytes, at| {
+            if pairs.len() >= PAR_MIN_PAIRS {
+                (0..pairs.len())
+                    .into_par_iter()
+                    .map(|k| {
+                        let (i, j) = pairs[k];
+                        run_attempts(
+                            |t| probe.try_probe_pure(i, j, bytes, t, retry.deadline),
+                            at,
+                            retry,
+                        )
+                    })
+                    .collect()
+            } else {
+                pairs
+                    .iter()
+                    .map(|&(i, j)| {
+                        run_attempts(
+                            |t| probe.try_probe_pure(i, j, bytes, t, retry.deadline),
+                            at,
+                            retry,
+                        )
+                    })
+                    .collect()
+            }
+        })
+    }
+
+    /// Shared schedule/clock/bookkeeping engine of the fallible paths.
+    /// `phase` measures one round's pairs at one probe size starting at an
+    /// absolute time, returning the per-pair attempt series in pair order.
+    fn drive_faulty(
+        &self,
+        n: usize,
+        now: f64,
+        mut phase: impl FnMut(&[(usize, usize)], u64, f64) -> Vec<AttemptSeries>,
+    ) -> CalibrationRun {
+        let mut perf = PerfMatrix::ideal(n);
+        let mut log = ProbeLog::new(n);
+        let mut clock = now;
+        let mut rounds = 0;
+
+        let schedule: Vec<Vec<(usize, usize)>> = if self.config.concurrent {
+            pairing_rounds(n)
+        } else {
+            (0..n)
+                .flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| vec![(i, j)]))
+                .collect()
+        };
+
+        for pairs in schedule {
+            // Latency then bandwidth phase, the clock advancing by the
+            // slowest pair of each phase — retries and burnt deadlines
+            // included, so faults honestly inflate the overhead.
+            let small = phase(&pairs, self.config.small_bytes, clock);
+            clock += small.iter().map(|s| s.consumed).fold(0.0, f64::max);
+            let large = phase(&pairs, self.config.large_bytes, clock);
+            clock += large.iter().map(|s| s.consumed).fold(0.0, f64::max);
+
+            for (k, &(i, j)) in pairs.iter().enumerate() {
+                let (s, l) = (small[k], large[k]);
+                for ph in [s, l] {
+                    log.attempts += ph.attempts as u64;
+                    log.retries += (ph.attempts - 1) as u64;
+                    log.timeouts += ph.timeouts as u64;
+                    log.losses += ph.losses as u64;
+                    if ph.measured.is_some() {
+                        log.successes += 1;
+                    }
+                }
+                let attempts = s.attempts.max(l.attempts);
+                match (s.measured, l.measured) {
+                    (Some(ts), Some(tl)) => {
+                        perf.set(
+                            i,
+                            j,
+                            LinkPerf::fit(
+                                self.config.small_bytes,
+                                ts,
+                                self.config.large_bytes,
+                                tl,
+                            ),
+                        );
+                        log.set_outcome(i, j, ProbeOutcome::Ok(attempts));
+                    }
+                    _ => log.set_outcome(i, j, ProbeOutcome::Failed(attempts)),
+                }
+            }
+            rounds += 1;
+        }
+
+        CalibrationRun {
+            perf,
+            overhead: clock - now,
+            rounds,
+            outcomes: log,
         }
     }
 
@@ -267,6 +468,90 @@ impl Calibrator {
             tp.push(t, &run.perf);
         }
         (tp, total)
+    }
+
+    /// Build a TP-matrix through the fallible path: each snapshot runs
+    /// [`Calibrator::calibrate_faulty`], unobserved cells are imputed per
+    /// `impute` and recorded in the TP-matrix's observation mask, and the
+    /// per-snapshot probe logs are returned for health reporting.
+    pub fn calibrate_tp_faulty<P: FallibleNetworkProbe>(
+        &self,
+        probe: &mut P,
+        start: f64,
+        interval: f64,
+        steps: usize,
+        retry: &RetryPolicy,
+        impute: ImputePolicy,
+    ) -> FaultyTpRun {
+        self.drive_tp_faulty(start, interval, steps, impute, |t| {
+            self.calibrate_faulty(probe, t, retry)
+        })
+    }
+
+    /// Parallel twin of [`Calibrator::calibrate_tp_faulty`]; see
+    /// [`Calibrator::calibrate_faulty_par`] for the determinism contract.
+    pub fn calibrate_tp_faulty_par<P: PureFallibleNetworkProbe>(
+        &self,
+        probe: &P,
+        start: f64,
+        interval: f64,
+        steps: usize,
+        retry: &RetryPolicy,
+        impute: ImputePolicy,
+    ) -> FaultyTpRun {
+        self.drive_tp_faulty(start, interval, steps, impute, |t| {
+            self.calibrate_faulty_par(probe, t, retry)
+        })
+    }
+
+    fn drive_tp_faulty(
+        &self,
+        start: f64,
+        interval: f64,
+        steps: usize,
+        impute: ImputePolicy,
+        mut snapshot: impl FnMut(f64) -> CalibrationRun,
+    ) -> FaultyTpRun {
+        let mut tp: Option<TpMatrix> = None;
+        let mut overhead = 0.0;
+        let mut logs = Vec::with_capacity(steps);
+        for k in 0..steps {
+            let t = start + k as f64 * interval;
+            let run = snapshot(t);
+            overhead += run.overhead;
+            let tp = tp.get_or_insert_with(|| TpMatrix::new(run.perf.n()));
+            tp.push_masked(t, &run.perf, &run.outcomes.observed_mask(), impute);
+            logs.push(run.outcomes);
+        }
+        FaultyTpRun {
+            tp: tp.unwrap_or_else(|| TpMatrix::new(0)),
+            overhead,
+            logs,
+        }
+    }
+}
+
+/// Result of a fault-tolerant TP-matrix calibration campaign.
+#[derive(Debug, Clone)]
+pub struct FaultyTpRun {
+    /// The (masked, imputed) temporal performance matrix.
+    pub tp: TpMatrix,
+    /// Total simulated time the probes (and their retries) occupied the
+    /// network.
+    pub overhead: f64,
+    /// One probe log per snapshot, in time order.
+    pub logs: Vec<ProbeLog>,
+}
+
+impl FaultyTpRun {
+    /// Aggregate counters across every snapshot of the campaign.
+    pub fn aggregate_log(&self) -> ProbeLog {
+        let n = self.tp.n();
+        let mut total = ProbeLog::new(n);
+        for log in &self.logs {
+            total.absorb_counters(log);
+        }
+        total
     }
 }
 
@@ -407,6 +692,194 @@ mod tests {
                 assert_eq!(a.beta.to_bits(), b.beta.to_bits(), "beta ({i},{j})");
             }
         }
+    }
+
+    /// Fallible wrapper over a model probe: links in `dead` always lose
+    /// their probes; every attempt before `flaky_until` is lost (a
+    /// transient episode that retries can outlast); everything else
+    /// succeeds with the model's time.
+    struct FlakyProbe {
+        truth: PerfMatrix,
+        dead: Vec<(usize, usize)>,
+        flaky_until: f64,
+    }
+
+    impl FlakyProbe {
+        fn reliable(truth: PerfMatrix) -> Self {
+            FlakyProbe {
+                truth,
+                dead: Vec::new(),
+                flaky_until: f64::NEG_INFINITY,
+            }
+        }
+
+        fn attempt(&self, i: usize, j: usize, bytes: u64, now: f64) -> ProbeAttempt {
+            if self.dead.contains(&(i, j)) || now < self.flaky_until {
+                ProbeAttempt::Lost
+            } else {
+                ProbeAttempt::Ok(self.truth.transfer_time(i, j, bytes))
+            }
+        }
+    }
+
+    impl FallibleNetworkProbe for FlakyProbe {
+        fn n(&self) -> usize {
+            self.truth.n()
+        }
+        fn try_probe(
+            &mut self,
+            i: usize,
+            j: usize,
+            bytes: u64,
+            now: f64,
+            _deadline: f64,
+        ) -> ProbeAttempt {
+            self.attempt(i, j, bytes, now)
+        }
+    }
+
+    impl PureFallibleNetworkProbe for FlakyProbe {
+        fn try_probe_pure(
+            &self,
+            i: usize,
+            j: usize,
+            bytes: u64,
+            now: f64,
+            _deadline: f64,
+        ) -> ProbeAttempt {
+            self.attempt(i, j, bytes, now)
+        }
+    }
+
+    fn truth6() -> PerfMatrix {
+        PerfMatrix::from_fn(6, |i, j| {
+            LinkPerf::new(1e-4 * (1 + i) as f64, 1e8 * (1 + j) as f64)
+        })
+    }
+
+    #[test]
+    fn fault_free_fallible_path_is_bit_identical() {
+        let plain = Calibrator::new().calibrate(&mut ModelProbe(truth6()), 50.0);
+        let faulty = Calibrator::new().calibrate_faulty(
+            &mut FlakyProbe::reliable(truth6()),
+            50.0,
+            &RetryPolicy::default(),
+        );
+        assert_eq!(faulty.rounds, plain.rounds);
+        assert_eq!(faulty.overhead.to_bits(), plain.overhead.to_bits());
+        assert_eq!(faulty.outcomes, plain.outcomes);
+        for i in 0..6 {
+            for j in 0..6 {
+                let a = plain.perf.link(i, j);
+                let b = faulty.perf.link(i, j);
+                assert_eq!(a.alpha.to_bits(), b.alpha.to_bits(), "alpha ({i},{j})");
+                assert_eq!(a.beta.to_bits(), b.beta.to_bits(), "beta ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn dead_link_exhausts_retries_and_is_masked() {
+        let mut probe = FlakyProbe {
+            truth: truth6(),
+            dead: vec![(0, 1)],
+            flaky_until: f64::NEG_INFINITY,
+        };
+        let retry = RetryPolicy::default();
+        let run = Calibrator::new().calibrate_faulty(&mut probe, 0.0, &retry);
+        assert_eq!(
+            run.outcomes.outcome(0, 1),
+            ProbeOutcome::Failed(retry.max_attempts)
+        );
+        assert!(!run.outcomes.observed(0, 1));
+        assert_eq!(run.outcomes.failed_links(), vec![(0, 1)]);
+        // Other links measured normally.
+        assert_eq!(run.outcomes.outcome(1, 0), ProbeOutcome::Ok(1));
+        // The dead link burnt deadlines + backoff, so the campaign is
+        // slower than the clean one.
+        let clean = Calibrator::new().calibrate(&mut ModelProbe(truth6()), 0.0);
+        assert!(run.overhead > clean.overhead);
+        assert!(run.outcomes.losses >= retry.max_attempts as u64);
+    }
+
+    #[test]
+    fn transient_fault_cleared_by_retry() {
+        // Every attempt in the first second is lost; the retry (deadline
+        // 2 s + backoff 0.5 s later) lands after the episode.
+        let mut probe = FlakyProbe {
+            truth: truth6(),
+            dead: Vec::new(),
+            flaky_until: 1.0,
+        };
+        let run =
+            Calibrator::new().calibrate_faulty(&mut probe, 0.0, &RetryPolicy::default());
+        assert_eq!(run.outcomes.failed_links().len(), 0, "retries should recover");
+        assert!(run.outcomes.retries > 0);
+        assert!(run.outcomes.losses > 0);
+        // The recovered cells are marked as retried.
+        let retried = (0..6)
+            .flat_map(|i| (0..6).map(move |j| (i, j)))
+            .filter(|&(i, j)| matches!(run.outcomes.outcome(i, j), ProbeOutcome::Ok(a) if a > 1))
+            .count();
+        assert!(retried > 0);
+    }
+
+    #[test]
+    fn faulty_parallel_matches_serial_under_faults() {
+        let truth = PerfMatrix::from_fn(24, |i, j| {
+            LinkPerf::new(1e-4 * (1 + (i * 7 + j) % 5) as f64, 1e8 * (1 + (i + j) % 3) as f64)
+        });
+        let mk = || FlakyProbe {
+            truth: truth.clone(),
+            dead: vec![(0, 1), (5, 9), (17, 3)],
+            flaky_until: 2.0,
+        };
+        let retry = RetryPolicy::default();
+        let serial = Calibrator::new().calibrate_faulty(&mut mk(), 0.0, &retry);
+        let par = Calibrator::new().calibrate_faulty_par(&mk(), 0.0, &retry);
+        assert_eq!(par.rounds, serial.rounds);
+        assert_eq!(par.overhead.to_bits(), serial.overhead.to_bits());
+        assert_eq!(par.outcomes, serial.outcomes);
+        for i in 0..24 {
+            for j in 0..24 {
+                let a = serial.perf.link(i, j);
+                let b = par.perf.link(i, j);
+                assert_eq!(a.alpha.to_bits(), b.alpha.to_bits(), "alpha ({i},{j})");
+                assert_eq!(a.beta.to_bits(), b.beta.to_bits(), "beta ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn calibrate_tp_faulty_masks_and_imputes() {
+        let mut probe = FlakyProbe {
+            truth: truth6(),
+            dead: vec![(2, 4)],
+            flaky_until: f64::NEG_INFINITY,
+        };
+        let run = Calibrator::new().calibrate_tp_faulty(
+            &mut probe,
+            0.0,
+            500.0,
+            4,
+            &RetryPolicy::default(),
+            ImputePolicy::LastGood,
+        );
+        assert_eq!(run.tp.steps(), 4);
+        assert_eq!(run.logs.len(), 4);
+        for k in 0..4 {
+            assert!(!run.tp.observed(k, 2, 4));
+            assert!(run.tp.observed(k, 4, 2));
+        }
+        assert!(run.tp.masked_fraction() > 0.0);
+        // The imputed cell holds the snapshot median (no history ever
+        // observed it), which is a plausible — finite, positive — value.
+        let cell = 2 * 6 + 4;
+        let v = run.tp.inv_beta_matrix()[(0, cell)];
+        assert!(v.is_finite() && v > 0.0, "imputed inv_beta {v}");
+        let agg = run.aggregate_log();
+        assert!(agg.losses >= 4 * RetryPolicy::default().max_attempts as u64);
+        assert!(agg.success_rate() < 1.0);
     }
 
     #[test]

@@ -1,0 +1,343 @@
+//! Fault-aware probing: attempt outcomes, retry/backoff policy, and the
+//! fallible probe traits.
+//!
+//! A week-long calibration campaign on a real IaaS cloud loses probes —
+//! SKaMPI-style ping-pong rounds hit timeouts, stragglers and transient
+//! blackouts. The plain [`crate::NetworkProbe`] cannot express that (a
+//! probe always returns a time), so calibration either panics or silently
+//! fabricates values. This module adds the honest path:
+//!
+//! * [`ProbeAttempt`] — what one ping-pong attempt did: completed, timed
+//!   out (a straggler outlived the deadline), or was lost in flight.
+//! * [`RetryPolicy`] — per-attempt deadline plus bounded retry with
+//!   deterministic exponential backoff. No jitter: calibration must be
+//!   replayable bit for bit from a seed.
+//! * [`ProbeOutcome`] / [`ProbeLog`] — per-link bookkeeping of how each
+//!   cell of the measurement matrix was (or was not) observed, plus the
+//!   aggregate counters a health report needs.
+//! * [`FallibleNetworkProbe`] / [`PureFallibleNetworkProbe`] — the traits
+//!   backends implement to participate; the synthetic cloud's fault
+//!   wrapper lives in `cloudconst-cloud`.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a single probe attempt against a fallible backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProbeAttempt {
+    /// The transfer completed in the given number of seconds (≤ deadline).
+    Ok(f64),
+    /// The transfer was still running at the deadline (straggler); the
+    /// prober gave up and charged the full deadline.
+    TimedOut,
+    /// The probe vanished in flight (packet loss, VM blackout); detected
+    /// only by waiting out the full deadline.
+    Lost,
+}
+
+/// Per-attempt deadline and bounded retry with deterministic exponential
+/// backoff.
+///
+/// Attempt `k` (1-based) starts `backoff(k)` seconds after the previous
+/// attempt's deadline expired, where `backoff(1) = 0` and
+/// `backoff(k) = backoff_base · backoff_mult^(k−2)` for `k ≥ 2`. All
+/// delays are simulated seconds charged to the calibration overhead —
+/// never wall-clock sleeps.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Seconds a single attempt may run before it is declared dead. Must
+    /// comfortably exceed an honest worst-case probe (an 8 MB transfer
+    /// over a congested cross-rack link is ~1.5 s on the EC2-like cloud).
+    pub deadline: f64,
+    /// Maximum attempts per probe, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt, in seconds.
+    pub backoff_base: f64,
+    /// Geometric growth of the backoff per further attempt.
+    pub backoff_mult: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            deadline: 2.0,
+            max_attempts: 3,
+            backoff_base: 0.5,
+            backoff_mult: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Policy that never retries and never waits — every failure is final.
+    pub fn no_retry(deadline: f64) -> Self {
+        RetryPolicy {
+            deadline,
+            max_attempts: 1,
+            backoff_base: 0.0,
+            backoff_mult: 1.0,
+        }
+    }
+
+    /// Deterministic wait before attempt `k` (1-based). Zero for the first
+    /// attempt, `backoff_base · backoff_mult^(k−2)` afterwards.
+    pub fn backoff(&self, attempt: u32) -> f64 {
+        if attempt <= 1 {
+            0.0
+        } else {
+            self.backoff_base * self.backoff_mult.powi(attempt as i32 - 2)
+        }
+    }
+}
+
+/// How one cell of the measurement matrix ended up after retries. The
+/// payload is the number of attempts consumed (tuple variants because the
+/// workspace serde shim has no struct-variant support).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProbeOutcome {
+    /// Never scheduled (self-links).
+    Unprobed,
+    /// Measured successfully; payload is attempts consumed including the
+    /// successful one (1 = first try, > 1 means the cell was retried).
+    Ok(u32),
+    /// Every attempt failed — the cell is unobserved and must be imputed
+    /// (and masked) downstream. Payload is the attempts consumed (= the
+    /// policy's `max_attempts`).
+    Failed(u32),
+}
+
+/// Per-calibration record of probe outcomes: an `N × N` grid of
+/// [`ProbeOutcome`] (the *worse* of the latency and bandwidth phases per
+/// link) plus aggregate attempt counters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProbeLog {
+    n: usize,
+    outcomes: Vec<ProbeOutcome>,
+    /// Total probe attempts issued (latency and bandwidth phases both
+    /// count; retries count individually).
+    pub attempts: u64,
+    /// Attempts that returned a measurement.
+    pub successes: u64,
+    /// Attempts beyond the first for any (link, phase).
+    pub retries: u64,
+    /// Attempts that ended in a timeout.
+    pub timeouts: u64,
+    /// Attempts that ended in a loss.
+    pub losses: u64,
+}
+
+impl ProbeLog {
+    /// Empty log for an `n`-instance cluster (all cells [`Unprobed`]).
+    ///
+    /// [`Unprobed`]: ProbeOutcome::Unprobed
+    pub fn new(n: usize) -> Self {
+        ProbeLog {
+            n,
+            outcomes: vec![ProbeOutcome::Unprobed; n * n],
+            attempts: 0,
+            successes: 0,
+            retries: 0,
+            timeouts: 0,
+            losses: 0,
+        }
+    }
+
+    /// Log of a calibration that observed every directed link first try —
+    /// what the infallible [`crate::Calibrator::calibrate`] path records
+    /// (two probes per link: latency and bandwidth).
+    pub fn all_ok(n: usize) -> Self {
+        let mut log = ProbeLog::new(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    log.outcomes[i * n + j] = ProbeOutcome::Ok(1);
+                }
+            }
+        }
+        let probes = 2 * (n * (n - 1)) as u64;
+        log.attempts = probes;
+        log.successes = probes;
+        log
+    }
+
+    /// Cluster size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Outcome for directed link `(i, j)`.
+    pub fn outcome(&self, i: usize, j: usize) -> ProbeOutcome {
+        self.outcomes[i * self.n + j]
+    }
+
+    /// Record the final outcome for link `(i, j)`.
+    pub fn set_outcome(&mut self, i: usize, j: usize, o: ProbeOutcome) {
+        self.outcomes[i * self.n + j] = o;
+    }
+
+    /// Was link `(i, j)` actually measured? Self-links count as observed
+    /// (their cost is structurally zero).
+    pub fn observed(&self, i: usize, j: usize) -> bool {
+        i == j || matches!(self.outcome(i, j), ProbeOutcome::Ok(_))
+    }
+
+    /// Row-major `N²` observation mask (diagonal entries are `true`).
+    pub fn observed_mask(&self) -> Vec<bool> {
+        let mut m = vec![false; self.n * self.n];
+        for i in 0..self.n {
+            for j in 0..self.n {
+                m[i * self.n + j] = self.observed(i, j);
+            }
+        }
+        m
+    }
+
+    /// Fraction of attempts that measured something (1.0 when no attempts
+    /// were made — an empty calibration has nothing to complain about).
+    pub fn success_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            1.0
+        } else {
+            self.successes as f64 / self.attempts as f64
+        }
+    }
+
+    /// Directed links whose cells ended [`ProbeOutcome::Failed`].
+    pub fn failed_links(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if matches!(self.outcome(i, j), ProbeOutcome::Failed(_)) {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Fraction of off-diagonal cells that ended unobserved.
+    pub fn failed_fraction(&self) -> f64 {
+        let links = self.n * (self.n.saturating_sub(1));
+        if links == 0 {
+            0.0
+        } else {
+            self.failed_links().len() as f64 / links as f64
+        }
+    }
+
+    /// Fold another calibration's counters into this one (grid outcomes are
+    /// kept per-snapshot by callers; only the aggregates accumulate).
+    pub fn absorb_counters(&mut self, other: &ProbeLog) {
+        self.attempts += other.attempts;
+        self.successes += other.successes;
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.losses += other.losses;
+    }
+}
+
+/// A probe that can fail: each attempt observes a per-attempt deadline and
+/// reports honestly what happened instead of fabricating a number.
+///
+/// Implementations must be deterministic in `(i, j, bytes, now, deadline)`
+/// given their configuration — calibration replays must be reproducible.
+pub trait FallibleNetworkProbe {
+    /// Number of endpoints reachable through this probe.
+    fn n(&self) -> usize;
+
+    /// Attempt to move `bytes` from `i` to `j` starting at `now`, giving
+    /// up at `now + deadline`. `i == j` must return `ProbeAttempt::Ok(0.0)`.
+    fn try_probe(&mut self, i: usize, j: usize, bytes: u64, now: f64, deadline: f64)
+        -> ProbeAttempt;
+}
+
+/// A fallible probe whose attempts are pure functions of
+/// `(i, j, bytes, now, deadline)`, so the pairs of a calibration round can
+/// be attempted on worker threads with results identical to the serial
+/// schedule. Mirrors [`crate::PureNetworkProbe`].
+pub trait PureFallibleNetworkProbe: FallibleNetworkProbe + Sync {
+    /// [`FallibleNetworkProbe::try_probe`] through a shared reference.
+    fn try_probe_pure(
+        &self,
+        i: usize,
+        j: usize,
+        bytes: u64,
+        now: f64,
+        deadline: f64,
+    ) -> ProbeAttempt;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_is_geometric() {
+        let p = RetryPolicy::default(); // base 0.5, mult 2
+        assert_eq!(p.backoff(1), 0.0);
+        assert_eq!(p.backoff(2), 0.5);
+        assert_eq!(p.backoff(3), 1.0);
+        assert_eq!(p.backoff(4), 2.0);
+    }
+
+    #[test]
+    fn no_retry_policy_single_attempt() {
+        let p = RetryPolicy::no_retry(1.5);
+        assert_eq!(p.max_attempts, 1);
+        assert_eq!(p.deadline, 1.5);
+        assert_eq!(p.backoff(2), 0.0);
+    }
+
+    #[test]
+    fn all_ok_log_counts_two_probes_per_link() {
+        let log = ProbeLog::all_ok(4);
+        assert_eq!(log.attempts, 24); // 2 × 4·3
+        assert_eq!(log.successes, 24);
+        assert_eq!(log.success_rate(), 1.0);
+        assert!(log.failed_links().is_empty());
+        assert!(log.observed(1, 2));
+        assert!(log.observed(2, 2)); // diagonal
+        assert_eq!(log.outcome(0, 0), ProbeOutcome::Unprobed);
+    }
+
+    #[test]
+    fn failed_cells_tracked_and_masked() {
+        let mut log = ProbeLog::all_ok(3);
+        log.set_outcome(0, 1, ProbeOutcome::Failed(3));
+        assert!(!log.observed(0, 1));
+        assert_eq!(log.failed_links(), vec![(0, 1)]);
+        assert!((log.failed_fraction() - 1.0 / 6.0).abs() < 1e-12);
+        let mask = log.observed_mask();
+        assert!(!mask[1]); // (0,1)
+        assert!(mask[0]); // diagonal
+    }
+
+    #[test]
+    fn empty_log_success_rate_is_one() {
+        let log = ProbeLog::new(5);
+        assert_eq!(log.success_rate(), 1.0);
+        assert_eq!(log.failed_fraction(), 0.0);
+    }
+
+    #[test]
+    fn absorb_counters_accumulates() {
+        let mut a = ProbeLog::all_ok(3);
+        let mut b = ProbeLog::all_ok(3);
+        b.retries = 2;
+        b.timeouts = 1;
+        b.losses = 1;
+        a.absorb_counters(&b);
+        assert_eq!(a.attempts, 24);
+        assert_eq!(a.retries, 2);
+        assert_eq!(a.timeouts, 1);
+        assert_eq!(a.losses, 1);
+    }
+
+    #[test]
+    fn probe_log_serde_roundtrip() {
+        let mut log = ProbeLog::all_ok(3);
+        log.set_outcome(1, 0, ProbeOutcome::Failed(2));
+        let json = serde_json::to_string(&log).unwrap();
+        let back: ProbeLog = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, log);
+    }
+}

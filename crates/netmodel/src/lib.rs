@@ -24,15 +24,22 @@
 pub mod alpha_beta;
 pub mod calibrate;
 pub mod coords;
+pub mod fallible;
 pub mod perf_matrix;
 pub mod tp_matrix;
 pub mod trace;
 
 pub use alpha_beta::LinkPerf;
-pub use calibrate::{pairing_rounds, CalibrationConfig, Calibrator};
+pub use calibrate::{
+    pairing_rounds, CalibrationConfig, CalibrationRun, Calibrator, FaultyTpRun,
+};
 pub use coords::{triangle_violation_rate, vivaldi, VivaldiConfig, VivaldiModel};
+pub use fallible::{
+    FallibleNetworkProbe, ProbeAttempt, ProbeLog, ProbeOutcome, PureFallibleNetworkProbe,
+    RetryPolicy,
+};
 pub use perf_matrix::PerfMatrix;
-pub use tp_matrix::TpMatrix;
+pub use tp_matrix::{ImputePolicy, TpMatrix};
 pub use trace::{NetTrace, TraceSample};
 
 /// One megabyte, in bytes.

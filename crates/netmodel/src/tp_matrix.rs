@@ -4,6 +4,24 @@ use crate::perf_matrix::PerfMatrix;
 use cloudconst_linalg::Mat;
 use serde::{Deserialize, Serialize};
 
+/// How to fill a TP-matrix cell that calibration failed to observe.
+///
+/// Imputed cells are *marked* in the observation mask so downstream error
+/// accounting (`Norm(N_E)`) can exclude them; the fill value only has to be
+/// plausible enough that RPCA treats any residual as a sparse error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ImputePolicy {
+    /// The most recent *observed* value of the same cell from an earlier
+    /// snapshot; falls back to the snapshot median when the cell has never
+    /// been observed. The right default: link constants are exactly the
+    /// thing that persists between snapshots.
+    LastGood,
+    /// The median of the observed off-diagonal cells of this snapshot —
+    /// crude (it mixes distance classes) but usable for a first snapshot
+    /// with no history.
+    SnapshotMedian,
+}
+
 /// The temporal performance matrix `N_A[T₀, T₁]`.
 ///
 /// Each calibration produces one [`PerfMatrix`]; its `N × N` latency and
@@ -17,6 +35,10 @@ pub struct TpMatrix {
     times: Vec<f64>,
     alpha: Mat,
     inv_beta: Mat,
+    /// `steps × N²` observation mask: 1.0 where the cell was measured,
+    /// 0.0 where it was imputed (diagonal cells are always 1.0 — their
+    /// cost is structurally zero, not a measurement).
+    mask: Mat,
 }
 
 impl TpMatrix {
@@ -27,6 +49,7 @@ impl TpMatrix {
             times: Vec::new(),
             alpha: Mat::zeros(0, n * n),
             inv_beta: Mat::zeros(0, n * n),
+            mask: Mat::zeros(0, n * n),
         }
     }
 
@@ -40,18 +63,87 @@ impl TpMatrix {
         tp
     }
 
-    /// Append one calibration snapshot.
+    /// Append one fully-observed calibration snapshot.
     pub fn push(&mut self, time: f64, pm: &PerfMatrix) {
         assert_eq!(pm.n(), self.n, "snapshot size mismatch");
+        let cells = self.n * self.n;
+        self.push_rows(time, pm.flatten(), vec![1.0; cells]);
+    }
+
+    /// Append a partially-observed snapshot: `observed` is the row-major
+    /// `N²` mask from the calibration's probe log; unobserved cells of `pm`
+    /// are replaced according to `impute` and recorded as masked.
+    pub fn push_masked(&mut self, time: f64, pm: &PerfMatrix, observed: &[bool], impute: ImputePolicy) {
+        assert_eq!(pm.n(), self.n, "snapshot size mismatch");
+        assert_eq!(observed.len(), self.n * self.n, "mask size mismatch");
+        let (mut af, mut bf) = pm.flatten();
+        self.impute_row(&mut af, observed, impute, Which::Alpha);
+        self.impute_row(&mut bf, observed, impute, Which::InvBeta);
+        let mask: Vec<f64> = (0..self.n * self.n)
+            .map(|k| {
+                // Diagonal cells are structurally zero, never imputed.
+                let (i, j) = (k / self.n, k % self.n);
+                if i == j || observed[k] {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        self.push_rows(time, (af, bf), mask);
+    }
+
+    fn push_rows(&mut self, time: f64, (af, bf): (Vec<f64>, Vec<f64>), mask: Vec<f64>) {
         if let Some(&last) = self.times.last() {
             assert!(time >= last, "snapshots must be time-ordered");
         }
-        let (af, bf) = pm.flatten();
-        let arow = Mat::from_vec(1, self.n * self.n, af);
-        let brow = Mat::from_vec(1, self.n * self.n, bf);
+        let cells = self.n * self.n;
+        let arow = Mat::from_vec(1, cells, af);
+        let brow = Mat::from_vec(1, cells, bf);
+        let mrow = Mat::from_vec(1, cells, mask);
         self.alpha = Mat::vstack(&[&self.alpha, &arow]).expect("column count fixed");
         self.inv_beta = Mat::vstack(&[&self.inv_beta, &brow]).expect("column count fixed");
+        self.mask = Mat::vstack(&[&self.mask, &mrow]).expect("column count fixed");
         self.times.push(time);
+    }
+
+    /// Fill the unobserved cells of one flattened snapshot row in place.
+    fn impute_row(&self, row: &mut [f64], observed: &[bool], impute: ImputePolicy, which: Which) {
+        let n = self.n;
+        // Median of the observed off-diagonal cells of this snapshot — the
+        // fallback for cells with no usable history.
+        let mut seen: Vec<f64> = (0..n * n)
+            .filter(|&k| observed[k] && k / n != k % n)
+            .map(|k| row[k])
+            .collect();
+        seen.sort_by(|a, b| a.partial_cmp(b).expect("finite measurements"));
+        let median = if seen.is_empty() {
+            0.0
+        } else {
+            seen[seen.len() / 2]
+        };
+
+        let hist = match which {
+            Which::Alpha => &self.alpha,
+            Which::InvBeta => &self.inv_beta,
+        };
+        for k in 0..n * n {
+            if observed[k] || k / n == k % n {
+                continue;
+            }
+            row[k] = match impute {
+                ImputePolicy::SnapshotMedian => median,
+                ImputePolicy::LastGood => {
+                    // Walk history backwards for the last observed value of
+                    // this cell.
+                    (0..self.steps())
+                        .rev()
+                        .find(|&s| self.mask[(s, k)] > 0.5)
+                        .map(|s| hist[(s, k)])
+                        .unwrap_or(median)
+                }
+            };
+        }
     }
 
     /// Number of instances `N`.
@@ -81,6 +173,32 @@ impl TpMatrix {
         &self.inv_beta
     }
 
+    /// The `steps × N²` observation mask (1.0 measured, 0.0 imputed).
+    pub fn mask_matrix(&self) -> &Mat {
+        &self.mask
+    }
+
+    /// Was cell `(i, j)` of snapshot `k` actually measured?
+    pub fn observed(&self, k: usize, i: usize, j: usize) -> bool {
+        self.mask[(k, i * self.n + j)] > 0.5
+    }
+
+    /// Fraction of off-diagonal cells (over all snapshots) that were
+    /// imputed rather than measured. Zero for a fully-observed matrix.
+    pub fn masked_fraction(&self) -> f64 {
+        let links = self.steps() * self.n * self.n.saturating_sub(1);
+        if links == 0 {
+            return 0.0;
+        }
+        let masked = self
+            .mask
+            .as_slice()
+            .iter()
+            .filter(|&&v| v < 0.5)
+            .count();
+        masked as f64 / links as f64
+    }
+
     /// Combined transfer-time matrix at a message size: `α + bytes · β⁻¹`
     /// per entry. This is the single-number-per-link view of Fig. 2.
     pub fn weight_matrix(&self, bytes: u64) -> Mat {
@@ -95,15 +213,27 @@ impl TpMatrix {
     }
 
     /// The first `k` snapshots as a new TP-matrix (used in the time-step
-    /// accuracy study, Fig. 5).
+    /// accuracy study, Fig. 5). The observation mask is carried over.
     pub fn prefix(&self, k: usize) -> TpMatrix {
         let k = k.min(self.steps());
         let mut tp = TpMatrix::new(self.n);
         for i in 0..k {
-            tp.push(self.times[i], &self.snapshot(i));
+            let cells = self.n * self.n;
+            let af = self.alpha.row(i).to_vec();
+            let bf = self.inv_beta.row(i).to_vec();
+            let mask = self.mask.row(i).to_vec();
+            debug_assert_eq!(mask.len(), cells);
+            tp.push_rows(self.times[i], (af, bf), mask);
         }
         tp
     }
+}
+
+/// Which flattened plane an imputation pass is filling.
+#[derive(Clone, Copy)]
+enum Which {
+    Alpha,
+    InvBeta,
 }
 
 #[cfg(test)]

@@ -17,9 +17,10 @@
 
 use crate::{default_lambda, spectral_norm, Result, RpcaError, RpcaResult};
 use cloudconst_linalg::{fro_norm, soft_threshold, svt, Mat};
+use serde::{Deserialize, Serialize};
 
 /// Options for [`apg`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ApgOptions {
     /// Sparsity weight λ. `None` selects `1/√max(m,n)`.
     pub lambda: Option<f64>,

@@ -35,6 +35,68 @@ pub fn norm_ne_l1(n_e: &Mat, n_a: &Mat) -> f64 {
     }
 }
 
+/// Masked [`norm_ne`]: entries whose `mask` cell is `< 0.5` (imputed,
+/// never actually measured) are excluded from *both* counts, so fabricated
+/// fill values can neither inflate nor launder the sparsity statistic. The
+/// threshold scale is likewise taken over observed entries only. With an
+/// all-ones mask this is exactly [`norm_ne`].
+pub fn norm_ne_masked(n_e: &Mat, n_a: &Mat, mask: &Mat) -> f64 {
+    assert_eq!(n_e.shape(), n_a.shape(), "error/data shape mismatch");
+    assert_eq!(mask.shape(), n_a.shape(), "mask shape mismatch");
+    let a = n_a.as_slice();
+    let e = n_e.as_slice();
+    let m = mask.as_slice();
+    let scale = a
+        .iter()
+        .zip(m.iter())
+        .filter(|&(_, &mk)| mk >= 0.5)
+        .map(|(&v, _)| v.abs())
+        .fold(0.0f64, f64::max);
+    if scale == 0.0 {
+        return 0.0;
+    }
+    let thresh = ZERO_NORM_REL_TOL * scale;
+    let denom = a
+        .iter()
+        .zip(m.iter())
+        .filter(|&(&v, &mk)| mk >= 0.5 && v.abs() > thresh)
+        .count();
+    if denom == 0 {
+        return 0.0;
+    }
+    let num = e
+        .iter()
+        .zip(m.iter())
+        .filter(|&(&v, &mk)| mk >= 0.5 && v.abs() > thresh)
+        .count();
+    num as f64 / denom as f64
+}
+
+/// Masked [`norm_ne_l1`]: ℓ₁ ratio over observed entries only.
+pub fn norm_ne_l1_masked(n_e: &Mat, n_a: &Mat, mask: &Mat) -> f64 {
+    assert_eq!(n_e.shape(), n_a.shape(), "error/data shape mismatch");
+    assert_eq!(mask.shape(), n_a.shape(), "mask shape mismatch");
+    let m = mask.as_slice();
+    let denom: f64 = n_a
+        .as_slice()
+        .iter()
+        .zip(m.iter())
+        .filter(|&(_, &mk)| mk >= 0.5)
+        .map(|(&v, _)| v.abs())
+        .sum();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    let num: f64 = n_e
+        .as_slice()
+        .iter()
+        .zip(m.iter())
+        .filter(|&(_, &mk)| mk >= 0.5)
+        .map(|(&v, _)| v.abs())
+        .sum();
+    num / denom
+}
+
 /// The paper's `Norm(P_D)`: relative difference between an estimated
 /// constant row `p_d` and the oracle `p_d_oracle`, measured in ℓ₁ (the
 /// thresholded-count form degenerates for vectors, and the paper's usage —
@@ -78,6 +140,41 @@ mod tests {
         let a = Mat::full(2, 2, 10.0);
         let e = Mat::full(2, 2, 1.0);
         assert!((norm_ne_l1(&e, &a) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn masked_norms_match_unmasked_under_full_mask() {
+        let a = Mat::from_rows(&[&[100.0, 3.0], &[7.0, 100.0]]);
+        let e = Mat::from_rows(&[&[50.0, 0.1], &[2.0, 0.0]]);
+        let ones = Mat::full(2, 2, 1.0);
+        assert_eq!(norm_ne_masked(&e, &a, &ones), norm_ne(&e, &a));
+        assert_eq!(norm_ne_l1_masked(&e, &a, &ones), norm_ne_l1(&e, &a));
+    }
+
+    #[test]
+    fn masked_norm_excludes_imputed_cells() {
+        let a = Mat::full(2, 2, 100.0);
+        let mut e = Mat::zeros(2, 2);
+        // A huge "error" in an imputed cell must not pollute the statistic.
+        e[(0, 0)] = 90.0;
+        e[(1, 1)] = 50.0;
+        let mut mask = Mat::full(2, 2, 1.0);
+        mask[(0, 0)] = 0.0;
+        // Unmasked: 2 of 4 significant. Masked: cell (0,0) leaves both
+        // counts → 1 of 3.
+        assert!((norm_ne(&e, &a) - 0.5).abs() < 1e-12);
+        assert!((norm_ne_masked(&e, &a, &mask) - 1.0 / 3.0).abs() < 1e-12);
+        let l1 = norm_ne_l1_masked(&e, &a, &mask);
+        assert!((l1 - 50.0 / 300.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn masked_norm_empty_mask_is_zero() {
+        let a = Mat::full(2, 2, 1.0);
+        let e = Mat::full(2, 2, 1.0);
+        let mask = Mat::zeros(2, 2);
+        assert_eq!(norm_ne_masked(&e, &a, &mask), 0.0);
+        assert_eq!(norm_ne_l1_masked(&e, &a, &mask), 0.0);
     }
 
     #[test]

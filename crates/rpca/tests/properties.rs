@@ -2,8 +2,8 @@
 
 use cloudconst_linalg::{fro_norm, svd_thin, Mat};
 use cloudconst_rpca::{
-    apg, constant_matrix, extract_constant, ialm, norm_ne, norm_ne_l1, ApgOptions,
-    ConstantMethod, IalmOptions,
+    apg, constant_matrix, extract_constant, ialm, norm_ne, norm_ne_l1, norm_ne_masked,
+    ApgOptions, ConstantMethod, IalmOptions,
 };
 use proptest::prelude::*;
 
@@ -105,5 +105,51 @@ proptest! {
         let zero = Mat::zeros(a.rows(), a.cols());
         prop_assert_eq!(norm_ne(&zero, &a), 0.0);
         prop_assert_eq!(norm_ne_l1(&zero, &a), 0.0);
+    }
+
+    #[test]
+    fn masked_rpca_recovers_constant_despite_imputed_cells(
+        (a, low, _sp) in low_rank_plus_sparse(),
+        holes in proptest::collection::vec((0usize..9, 0usize..40), 0..8),
+    ) {
+        // Knock out up to ~10% of the cells the way the fault-aware
+        // calibrator would: replace the true value with a last-good /
+        // column-median imputation and mark the cell in the mask. RPCA on
+        // the imputed matrix must still recover the rank-one constant, and
+        // the masked Norm(N_E) must ignore whatever residual lands on the
+        // imputed cells.
+        let (m, n) = a.shape();
+        let budget = (m * n) / 10; // ≤ 10% masked
+        let mut masked = a.clone();
+        let mut mask = Mat::full(m, n, 1.0);
+        let mut knocked = 0usize;
+        for (i, j) in holes {
+            let (i, j) = (i % m, j % n);
+            if knocked >= budget || mask[(i, j)] < 0.5 {
+                continue;
+            }
+            // Column-median imputation from the *other* rows — what
+            // LastGood does when history exists (rows of `low` are
+            // identical, so any other row's value is the plausible fill).
+            let mut col: Vec<f64> = (0..m).filter(|&r| r != i).map(|r| a[(r, j)]).collect();
+            col.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            masked[(i, j)] = col[col.len() / 2];
+            mask[(i, j)] = 0.0;
+            knocked += 1;
+        }
+
+        let r = apg(&masked, &ApgOptions::default()).unwrap();
+        let err = fro_norm(&r.d.sub(&low).unwrap()) / fro_norm(&low).max(1e-12);
+        prop_assert!(err < 0.10, "constant recovery error {err} with {knocked} imputed cells");
+
+        // Masked sparsity accounting stays within the unmasked bound it
+        // refines: excluding imputed cells cannot *invent* significant
+        // errors on observed cells.
+        let e = r.exact_error(&masked).unwrap();
+        let frac = norm_ne_masked(&e, &masked, &mask);
+        prop_assert!((0.0..=1.0).contains(&frac), "masked Norm(N_E) {frac}");
+        // The imputed matrix is still low-rank + sparse, so the observed
+        // error fraction stays small.
+        prop_assert!(frac <= 0.35, "masked Norm(N_E) too large: {frac}");
     }
 }

@@ -1,0 +1,197 @@
+//! End-to-end robustness: fault-injected calibration → masked RPCA →
+//! FNF tree build → maintenance, swept over fault rates 0 → 20%.
+//!
+//! The sweep pins the two promises of the fault-aware path: at 0% faults
+//! the pipeline is **bit-identical** to the historic infallible one, and
+//! as fault rates climb to 20% the recovered constant component stays
+//! within a bounded relative error of ground truth while the
+//! [`HealthReport`] tells the truth about how the model was obtained.
+
+use cloudconst::cloud::{CloudConfig, FaultPlan, FaultyCloud, SyntheticCloud};
+use cloudconst::collectives::fnf_tree;
+use cloudconst::core::{Advisor, AdvisorConfig, DegradedPolicy, MaintenanceDecision};
+use cloudconst::netmodel::{RetryPolicy, BETA_PROBE_BYTES};
+
+/// A deadline that honest probes never hit, so every deviation from the
+/// infallible path is the fault plan's doing and a 0% plan changes nothing.
+fn generous_retry() -> RetryPolicy {
+    RetryPolicy {
+        deadline: 1e9,
+        ..RetryPolicy::default()
+    }
+}
+
+fn faulty_advisor(retry: RetryPolicy) -> Advisor {
+    Advisor::new(AdvisorConfig {
+        retry,
+        ..AdvisorConfig::default()
+    })
+}
+
+/// Mean relative error of the advisor's constant component against the
+/// epoch-0 ground truth, measured as large-transfer time.
+fn mean_rel_error(advisor: &Advisor, cloud: &SyntheticCloud) -> f64 {
+    let truth = cloud.ground_truth(0);
+    let est = advisor.constant().unwrap();
+    let n = truth.n();
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let a = est.transfer_time(i, j, BETA_PROBE_BYTES);
+            let b = truth.transfer_time(i, j, BETA_PROBE_BYTES);
+            total += (a - b).abs() / b;
+            count += 1;
+        }
+    }
+    total / count as f64
+}
+
+#[test]
+fn zero_fault_pipeline_is_bit_identical_to_infallible_path() {
+    let n = 16;
+    let cloud = SyntheticCloud::new(CloudConfig::ec2_like(n, 77));
+    let faulty = FaultyCloud::new(cloud.clone(), FaultPlan::none(77));
+
+    let mut plain = Advisor::new(AdvisorConfig::default());
+    plain.calibrate_par(&cloud, 0.0).unwrap();
+    let mut robust = faulty_advisor(generous_retry());
+    robust.calibrate_faulty_par(&faulty, 0.0).unwrap();
+
+    let (mp, mr) = (plain.model().unwrap(), robust.model().unwrap());
+    assert_eq!(
+        mp.calibration_overhead.to_bits(),
+        mr.calibration_overhead.to_bits(),
+        "calibration overhead diverged"
+    );
+    assert_eq!(
+        mp.estimate.norm_ne.to_bits(),
+        mr.estimate.norm_ne.to_bits(),
+        "Norm(N_E) diverged"
+    );
+    for i in 0..n {
+        for j in 0..n {
+            let a = mp.estimate.perf.link(i, j);
+            let b = mr.estimate.perf.link(i, j);
+            assert_eq!(a.alpha.to_bits(), b.alpha.to_bits(), "alpha ({i},{j})");
+            assert_eq!(a.beta.to_bits(), b.beta.to_bits(), "beta ({i},{j})");
+        }
+    }
+
+    // Downstream guidance is therefore identical too: the FNF broadcast
+    // trees built from either constant are the same tree.
+    let wp = mp.estimate.perf.weights(BETA_PROBE_BYTES);
+    let wr = mr.estimate.perf.weights(BETA_PROBE_BYTES);
+    for root in [0, 5, n - 1] {
+        let tp = fnf_tree(root, &wp);
+        let tr = fnf_tree(root, &wr);
+        for v in 0..n {
+            assert_eq!(tp.parent(v), tr.parent(v), "FNF tree diverged at {v}");
+        }
+    }
+
+    // And the health report records a perfectly clean campaign.
+    let h = robust.health(0.0).unwrap();
+    assert_eq!(h.probe_success_rate, 1.0);
+    assert_eq!(h.retries + h.timeouts + h.losses, 0);
+    assert_eq!(h.masked_fraction, 0.0);
+    assert!(!h.degraded);
+    assert!(h.quarantined.is_empty());
+}
+
+#[test]
+fn fault_sweep_keeps_constant_error_bounded_and_health_truthful() {
+    let n = 12;
+    for (k, rate) in [0.0, 0.05, 0.10, 0.20].into_iter().enumerate() {
+        let cloud = SyntheticCloud::new(CloudConfig::ec2_like(n, 31));
+        let faulty = FaultyCloud::new(cloud.clone(), FaultPlan::uniform(900 + k as u64, rate));
+        // The *default* retry policy: its 2 s per-probe deadline is the
+        // designed defense against stragglers — inflated measurements are
+        // clipped into timeouts and retried instead of polluting the model.
+        let mut advisor = faulty_advisor(RetryPolicy::default());
+        advisor
+            .calibrate_faulty_par(&faulty, 0.0)
+            .unwrap_or_else(|e| panic!("calibration at rate {rate} failed: {e}"));
+
+        // Masked RPCA still finds the constant within a bounded error.
+        let err = mean_rel_error(&advisor, &cloud);
+        assert!(
+            err < 0.10,
+            "rate {rate}: constant relative error {err} out of bounds"
+        );
+
+        // The FNF tree built from the recovered constant spans all VMs.
+        let tree = fnf_tree(0, &advisor.constant().unwrap().weights(BETA_PROBE_BYTES));
+        assert!(tree.is_spanning(), "rate {rate}: FNF tree not spanning");
+
+        // Truthful health accounting.
+        let h = advisor.health(3600.0).unwrap();
+        assert_eq!(h.model_age, 3600.0);
+        assert!(h.attempts > 0);
+        if rate == 0.0 {
+            assert_eq!(h.probe_success_rate, 1.0, "clean campaign misreported");
+            assert_eq!(h.masked_fraction, 0.0);
+            assert_eq!(h.retries + h.timeouts + h.losses, 0);
+        } else {
+            assert!(
+                h.probe_success_rate < 1.0,
+                "rate {rate}: faults missing from success rate"
+            );
+            assert!(
+                h.timeouts + h.losses > 0,
+                "rate {rate}: failure counters empty"
+            );
+            assert!(
+                h.masked_fraction < 0.5,
+                "rate {rate}: masked fraction {} implausible",
+                h.masked_fraction
+            );
+        }
+
+        // Maintenance still works on the faulty-path model: an observation
+        // matching the expectation keeps the model, a wild one does not.
+        let expected = advisor.expected_transfer(0, 1, BETA_PROBE_BYTES).unwrap();
+        assert_eq!(
+            advisor.check_link(0, 1, expected, expected * 1.05),
+            MaintenanceDecision::Keep
+        );
+        assert_eq!(
+            advisor.check_link(0, 1, expected, expected * 10.0),
+            MaintenanceDecision::Recalibrate
+        );
+    }
+}
+
+#[test]
+fn starved_solver_is_rescued_by_accept_near_tolerance() {
+    let n = 12;
+    let cloud = SyntheticCloud::new(CloudConfig::ec2_like(n, 31));
+    let faulty = FaultyCloud::new(cloud.clone(), FaultPlan::uniform(905, 0.05));
+
+    // Strict policy with a starved iteration budget: NoConvergence.
+    let mut strict = faulty_advisor(RetryPolicy::default());
+    strict.config_mut().rpca.max_iters = 40;
+    assert!(
+        strict.calibrate_faulty_par(&faulty, 0.0).is_err(),
+        "budget chosen for this fixture must actually starve the solver"
+    );
+
+    // Same budget under AcceptNearTolerance: the partial decomposition is
+    // consumed, the model is flagged degraded, and it is still usable.
+    let mut lenient = faulty_advisor(RetryPolicy::default());
+    lenient.config_mut().rpca.max_iters = 40;
+    lenient.config_mut().degraded = DegradedPolicy::AcceptNearTolerance(0.05);
+    lenient.calibrate_faulty_par(&faulty, 0.0).unwrap();
+    let h = lenient.health(0.0).unwrap();
+    assert!(h.degraded, "partial acceptance must be reported");
+    let err = mean_rel_error(&lenient, &cloud);
+    assert!(
+        err < 0.30,
+        "degraded constant relative error {err} out of bounds"
+    );
+    let tree = fnf_tree(0, &lenient.constant().unwrap().weights(BETA_PROBE_BYTES));
+    assert!(tree.is_spanning());
+}
