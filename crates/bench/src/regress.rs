@@ -10,6 +10,7 @@
 //! `RAYON_NUM_THREADS=1` subprocess.
 
 use cloudconst_cloud::{CloudConfig, FaultPlan, FaultyCloud, SyntheticCloud};
+use cloudconst_coord::{Coordinator, CoordinatorConfig, LoopbackTransport};
 use cloudconst_linalg::Mat;
 use cloudconst_netmodel::{Calibrator, ImputePolicy, RetryPolicy};
 use cloudconst_rpca::{apg, ApgOptions};
@@ -147,6 +148,52 @@ pub fn bench_calibration_faulty(n: usize, reps: usize) -> BenchRecord {
     }
 }
 
+/// Time the sharded calibration coordinator against the unsharded
+/// fault-aware calibrator on the same (fault-free) cloud: two records,
+/// `calibration_tp_unsharded` and `calibration_sharded`, the latter's
+/// metric being the unsharded/sharded wall-time ratio (> 1 means sharding
+/// plus the wire codec is cheaper than the monolithic path, < 1 is its
+/// overhead). Both paths produce bit-identical TP-matrices, so the pair
+/// isolates pure coordination + serialization cost.
+pub fn bench_calibration_sharded(n: usize, shards: usize, reps: usize) -> Vec<BenchRecord> {
+    let cloud = FaultyCloud::new(
+        SyntheticCloud::new(CloudConfig::ec2_like(n, 7)),
+        FaultPlan::none(7),
+    );
+    let retry = RetryPolicy::default();
+    let unsharded = best_of(reps, || {
+        Calibrator::new().calibrate_tp_faulty_par(
+            &cloud,
+            0.0,
+            60.0,
+            10,
+            &retry,
+            ImputePolicy::LastGood,
+        )
+    });
+    let coordinator = Coordinator::new(CoordinatorConfig::new(shards));
+    let sharded = best_of(reps, || {
+        let mut transport = LoopbackTransport::new(cloud.clone(), shards);
+        coordinator
+            .calibrate_tp(&mut transport, 0.0, 60.0, 10)
+            .expect("loopback campaign cannot abort")
+    });
+    vec![
+        BenchRecord {
+            name: "calibration_tp_unsharded".into(),
+            n: n as u64,
+            seconds: unsharded,
+            metric: 0.0,
+        },
+        BenchRecord {
+            name: "calibration_sharded".into(),
+            n: n as u64,
+            seconds: sharded,
+            metric: if sharded > 0.0 { unsharded / sharded } else { 0.0 },
+        },
+    ]
+}
+
 /// Time 60 simulated seconds of background traffic on the paper's
 /// 1024-host tree; the metric is flows completed per wall second.
 pub fn bench_simnet(reps: usize) -> BenchRecord {
@@ -194,6 +241,15 @@ pub fn run_suite(sizes: &[usize], serial_rpca_seconds: Option<f64>, date: String
         let reps = if n >= 128 { 1 } else { 3 };
         records.push(bench_calibration_faulty(n, reps));
     }
+    // Sharded coordinator vs unsharded at service scale (N = 256) on full
+    // runs; the quick run keeps the record at its largest sweep size so CI
+    // still exercises the sharded path every time.
+    let sharded_n = if sizes.iter().any(|&n| n >= 128) {
+        256
+    } else {
+        sizes.last().copied().unwrap_or(64).max(32)
+    };
+    records.extend(bench_calibration_sharded(sharded_n, 4, 1));
     records.push(bench_simnet(2));
 
     let par = rpca_hot_seconds();
@@ -275,6 +331,15 @@ mod tests {
             "5% faults must show in the success rate: {}",
             faulty.metric
         );
+        assert!(names.contains(&"calibration_tp_unsharded"));
+        assert!(names.contains(&"calibration_sharded"));
+        let sharded = report
+            .records
+            .iter()
+            .find(|r| r.name == "calibration_sharded")
+            .unwrap();
+        assert!(sharded.metric > 0.0, "ratio metric must be recorded");
+        assert_eq!(sharded.n, 32, "quick/test runs bench sharding at N >= 32");
         assert!(names.contains(&"rpca_10x4096_parallel"));
         assert!(names.contains(&"rpca_10x4096_speedup"));
         for r in &report.records {

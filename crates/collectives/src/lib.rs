@@ -29,7 +29,7 @@ pub mod tree;
 pub use binomial::binomial_tree;
 pub use composite::{allgather_time, allreduce_time, barrier_time};
 pub use exec::{evaluate_dag, evaluate_tree, schedule, Transfer, TransferDag};
-pub use fnf::fnf_tree;
+pub use fnf::{fnf_tree, fnf_tree_quarantined};
 pub use kary::{chain_tree, flat_tree, kary_tree};
 pub use pipeline::schedule_pipelined_broadcast;
 pub use topoaware::topo_aware_tree;

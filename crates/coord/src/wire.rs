@@ -1,0 +1,399 @@
+//! Typed wire messages of the coordinator/worker protocol, carried in
+//! [`crate::codec`] frames.
+//!
+//! The protocol is deliberately small — four message shapes:
+//!
+//! * [`ShardTask`] (coordinator → worker): probe one chunk of one
+//!   `(round, phase)` at an absolute start time, under a given
+//!   [`RetryPolicy`]. Tasks are idempotent; re-dispatched duplicates get
+//!   the cached acknowledgement.
+//! * [`PhaseAck`] (worker → coordinator): the chunk's slowest pair's
+//!   consumed time — the only value the coordinator needs to advance the
+//!   shared calibration clock, because `max` over shard maxima equals the
+//!   unsharded `max` over all pairs exactly.
+//! * [`FlushRequest`] (coordinator → worker): a snapshot ended; ship the
+//!   accumulated fragment.
+//! * [`PartialTpMatrix`] (worker → coordinator): the shard's measured
+//!   cells, per-cell [`ProbeOutcome`]s and aggregate probe counters for
+//!   one snapshot. Cells are disjoint across shards, so merging is
+//!   order-independent by construction.
+
+use crate::codec::{
+    decode_frame, encode_frame, put_f64, put_u32, put_u64, CodecError, Reader, KIND_FLUSH_REQUEST,
+    KIND_PARTIAL_TP, KIND_PHASE_ACK, KIND_SHARD_TASK,
+};
+use cloudconst_netmodel::{ProbeOutcome, RetryPolicy};
+
+/// Which half of a calibration round a task covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// The 1-byte latency (α) probes.
+    Small,
+    /// The 8 MB bandwidth (β) probes.
+    Large,
+}
+
+/// One chunk of one calibration `(round, phase)`, assigned to one shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardTask {
+    /// Globally unique task id (stable across re-dispatch).
+    pub seq: u64,
+    /// Destination shard.
+    pub shard: u32,
+    /// Snapshot index within the campaign.
+    pub snapshot: u32,
+    /// Round index within the snapshot's schedule.
+    pub round: u32,
+    /// Latency or bandwidth phase.
+    pub phase: Phase,
+    /// Probe message size for this phase.
+    pub bytes: u64,
+    /// Absolute start time of the phase (the coordinator's clock).
+    pub at: f64,
+    /// Retry/backoff policy every pair of the chunk runs under.
+    pub retry: RetryPolicy,
+    /// The `(sender, receiver)` pairs of this chunk, in schedule order.
+    pub pairs: Vec<(u32, u32)>,
+}
+
+/// Worker acknowledgement of one [`ShardTask`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseAck {
+    /// The acknowledged task's id.
+    pub seq: u64,
+    /// The responding shard.
+    pub shard: u32,
+    /// `max` over the chunk's pairs of the seconds each consumed
+    /// (backoff + burnt deadlines + the successful attempt).
+    pub max_consumed: f64,
+}
+
+/// End-of-snapshot request for a worker's accumulated fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushRequest {
+    /// Globally unique request id (stable across re-dispatch).
+    pub seq: u64,
+    /// Destination shard.
+    pub shard: u32,
+    /// The snapshot being closed.
+    pub snapshot: u32,
+}
+
+/// One measured (or exhausted) cell of a shard's fragment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellResult {
+    /// Sender index.
+    pub i: u32,
+    /// Receiver index.
+    pub j: u32,
+    /// How the cell ended after both phases' retries.
+    pub outcome: ProbeOutcome,
+    /// Fitted latency (seconds); meaningful only for `Ok` outcomes.
+    pub alpha: f64,
+    /// Fitted bandwidth (bytes/second); meaningful only for `Ok` outcomes.
+    pub beta: f64,
+}
+
+/// A shard's contribution to one snapshot: disjoint cells plus the shard's
+/// share of the probe counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialTpMatrix {
+    /// The flush request this answers.
+    pub seq: u64,
+    /// The responding shard.
+    pub shard: u32,
+    /// The snapshot this fragment belongs to.
+    pub snapshot: u32,
+    /// Cluster size (coordinator cross-checks it).
+    pub n: u32,
+    /// Probe attempts issued by this shard this snapshot.
+    pub attempts: u64,
+    /// Attempts that returned a measurement.
+    pub successes: u64,
+    /// Attempts beyond the first for any (pair, phase).
+    pub retries: u64,
+    /// Attempts that timed out.
+    pub timeouts: u64,
+    /// Attempts lost in flight.
+    pub losses: u64,
+    /// The shard's cells, in schedule order.
+    pub cells: Vec<CellResult>,
+}
+
+/// Any protocol message, for single-point decode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Coordinator → worker probe task.
+    Task(ShardTask),
+    /// Worker → coordinator task acknowledgement.
+    Ack(PhaseAck),
+    /// Coordinator → worker flush.
+    Flush(FlushRequest),
+    /// Worker → coordinator snapshot fragment.
+    Partial(PartialTpMatrix),
+}
+
+fn put_retry(buf: &mut Vec<u8>, r: &RetryPolicy) {
+    put_f64(buf, r.deadline);
+    put_u32(buf, r.max_attempts);
+    put_f64(buf, r.backoff_base);
+    put_f64(buf, r.backoff_mult);
+}
+
+fn read_retry(r: &mut Reader<'_>) -> Result<RetryPolicy, CodecError> {
+    Ok(RetryPolicy {
+        deadline: r.f64()?,
+        max_attempts: r.u32()?,
+        backoff_base: r.f64()?,
+        backoff_mult: r.f64()?,
+    })
+}
+
+impl Message {
+    /// Serialize into one checksummed frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        match self {
+            Message::Task(t) => {
+                put_u64(&mut p, t.seq);
+                put_u32(&mut p, t.shard);
+                put_u32(&mut p, t.snapshot);
+                put_u32(&mut p, t.round);
+                p.push(match t.phase {
+                    Phase::Small => 0,
+                    Phase::Large => 1,
+                });
+                put_u64(&mut p, t.bytes);
+                put_f64(&mut p, t.at);
+                put_retry(&mut p, &t.retry);
+                put_u32(&mut p, t.pairs.len() as u32);
+                for &(i, j) in &t.pairs {
+                    put_u32(&mut p, i);
+                    put_u32(&mut p, j);
+                }
+                encode_frame(KIND_SHARD_TASK, &p)
+            }
+            Message::Ack(a) => {
+                put_u64(&mut p, a.seq);
+                put_u32(&mut p, a.shard);
+                put_f64(&mut p, a.max_consumed);
+                encode_frame(KIND_PHASE_ACK, &p)
+            }
+            Message::Flush(fr) => {
+                put_u64(&mut p, fr.seq);
+                put_u32(&mut p, fr.shard);
+                put_u32(&mut p, fr.snapshot);
+                encode_frame(KIND_FLUSH_REQUEST, &p)
+            }
+            Message::Partial(m) => {
+                put_u64(&mut p, m.seq);
+                put_u32(&mut p, m.shard);
+                put_u32(&mut p, m.snapshot);
+                put_u32(&mut p, m.n);
+                for c in [m.attempts, m.successes, m.retries, m.timeouts, m.losses] {
+                    put_u64(&mut p, c);
+                }
+                put_u32(&mut p, m.cells.len() as u32);
+                for c in &m.cells {
+                    put_u32(&mut p, c.i);
+                    put_u32(&mut p, c.j);
+                    match c.outcome {
+                        ProbeOutcome::Ok(k) => {
+                            p.push(1);
+                            put_u32(&mut p, k);
+                            put_f64(&mut p, c.alpha);
+                            put_f64(&mut p, c.beta);
+                        }
+                        ProbeOutcome::Failed(k) => {
+                            p.push(2);
+                            put_u32(&mut p, k);
+                        }
+                        ProbeOutcome::Unprobed => p.push(0),
+                    }
+                }
+                encode_frame(KIND_PARTIAL_TP, &p)
+            }
+        }
+    }
+
+    /// Decode one frame into its typed message.
+    pub fn decode(buf: &[u8]) -> Result<Message, CodecError> {
+        let frame = decode_frame(buf)?;
+        let mut r = Reader::new(&frame.payload);
+        let msg = match frame.kind {
+            KIND_SHARD_TASK => {
+                let seq = r.u64()?;
+                let shard = r.u32()?;
+                let snapshot = r.u32()?;
+                let round = r.u32()?;
+                let phase = match r.u8()? {
+                    0 => Phase::Small,
+                    1 => Phase::Large,
+                    _ => return Err(CodecError::Malformed("bad phase tag")),
+                };
+                let bytes = r.u64()?;
+                let at = r.f64()?;
+                let retry = read_retry(&mut r)?;
+                let count = r.u32()? as usize;
+                let mut pairs = Vec::with_capacity(count.min(1 << 16));
+                for _ in 0..count {
+                    pairs.push((r.u32()?, r.u32()?));
+                }
+                Message::Task(ShardTask {
+                    seq,
+                    shard,
+                    snapshot,
+                    round,
+                    phase,
+                    bytes,
+                    at,
+                    retry,
+                    pairs,
+                })
+            }
+            KIND_PHASE_ACK => Message::Ack(PhaseAck {
+                seq: r.u64()?,
+                shard: r.u32()?,
+                max_consumed: r.f64()?,
+            }),
+            KIND_FLUSH_REQUEST => Message::Flush(FlushRequest {
+                seq: r.u64()?,
+                shard: r.u32()?,
+                snapshot: r.u32()?,
+            }),
+            KIND_PARTIAL_TP => {
+                let seq = r.u64()?;
+                let shard = r.u32()?;
+                let snapshot = r.u32()?;
+                let n = r.u32()?;
+                let attempts = r.u64()?;
+                let successes = r.u64()?;
+                let retries = r.u64()?;
+                let timeouts = r.u64()?;
+                let losses = r.u64()?;
+                let count = r.u32()? as usize;
+                let mut cells = Vec::with_capacity(count.min(1 << 16));
+                for _ in 0..count {
+                    let i = r.u32()?;
+                    let j = r.u32()?;
+                    let (outcome, alpha, beta) = match r.u8()? {
+                        0 => (ProbeOutcome::Unprobed, 0.0, 0.0),
+                        1 => (ProbeOutcome::Ok(r.u32()?), r.f64()?, r.f64()?),
+                        2 => (ProbeOutcome::Failed(r.u32()?), 0.0, 0.0),
+                        _ => return Err(CodecError::Malformed("bad outcome tag")),
+                    };
+                    cells.push(CellResult {
+                        i,
+                        j,
+                        outcome,
+                        alpha,
+                        beta,
+                    });
+                }
+                Message::Partial(PartialTpMatrix {
+                    seq,
+                    shard,
+                    snapshot,
+                    n,
+                    attempts,
+                    successes,
+                    retries,
+                    timeouts,
+                    losses,
+                    cells,
+                })
+            }
+            other => return Err(CodecError::UnknownKind(other)),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_task() -> ShardTask {
+        ShardTask {
+            seq: 42,
+            shard: 3,
+            snapshot: 2,
+            round: 17,
+            phase: Phase::Large,
+            bytes: 8 << 20,
+            at: 123.456789,
+            retry: RetryPolicy::default(),
+            pairs: vec![(0, 5), (1, 4), (2, 3)],
+        }
+    }
+
+    #[test]
+    fn task_roundtrip() {
+        let msg = Message::Task(sample_task());
+        assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn ack_roundtrip() {
+        let msg = Message::Ack(PhaseAck {
+            seq: 7,
+            shard: 1,
+            max_consumed: 0.125 + 1e-13,
+        });
+        assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn flush_roundtrip() {
+        let msg = Message::Flush(FlushRequest {
+            seq: 9,
+            shard: 0,
+            snapshot: 4,
+        });
+        assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn partial_roundtrip_with_mixed_outcomes() {
+        let msg = Message::Partial(PartialTpMatrix {
+            seq: 11,
+            shard: 2,
+            snapshot: 0,
+            n: 8,
+            attempts: 40,
+            successes: 36,
+            retries: 4,
+            timeouts: 2,
+            losses: 2,
+            cells: vec![
+                CellResult {
+                    i: 0,
+                    j: 1,
+                    outcome: ProbeOutcome::Ok(1),
+                    alpha: 2.5e-4,
+                    beta: 9.87e7,
+                },
+                CellResult {
+                    i: 1,
+                    j: 0,
+                    outcome: ProbeOutcome::Failed(3),
+                    alpha: 0.0,
+                    beta: 0.0,
+                },
+            ],
+        });
+        assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn corrupted_message_is_typed_error() {
+        let mut buf = Message::Task(sample_task()).encode();
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0xFF;
+        assert!(matches!(
+            Message::decode(&buf),
+            Err(CodecError::ChecksumMismatch)
+        ));
+    }
+}

@@ -1,0 +1,201 @@
+//! The shard-side half of the protocol.
+//!
+//! A [`ShardWorker`] executes [`ShardTask`]s against its own probe
+//! backend, accumulates measured cells across a snapshot, and ships them
+//! as a [`PartialTpMatrix`] when the coordinator flushes. Its per-cell
+//! bookkeeping — counter accumulation, `attempts = max(small, large)`,
+//! `LinkPerf::fit` on doubly-measured cells, `Failed` otherwise — is a
+//! line-for-line mirror of the unsharded calibrator's `drive_faulty`,
+//! which is what makes the merged result bit-identical.
+//!
+//! Workers are idempotent: every request's response frame is cached by
+//! task id, so a re-dispatched duplicate (its ack was lost on the wire)
+//! returns the cached bytes without re-probing or double-counting.
+
+use crate::wire::{CellResult, FlushRequest, Message, PartialTpMatrix, Phase, PhaseAck, ShardTask};
+use crate::CoordError;
+use cloudconst_netmodel::{
+    run_attempt_series, AttemptSeries, LinkPerf, ProbeOutcome, PureFallibleNetworkProbe,
+};
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+
+/// Pair count below which a task's chunk is probed serially (mirrors the
+/// unsharded calibrator's threshold; thread handoff would cost more).
+const PAR_MIN_PAIRS: usize = 8;
+
+/// One worker shard: a probe backend plus per-snapshot accumulation state.
+pub struct ShardWorker<P> {
+    probe: P,
+    shard: usize,
+    /// Small-phase results awaiting their round's large phase:
+    /// `round → (small_bytes, per-pair series)`.
+    small: BTreeMap<u32, (u64, Vec<AttemptSeries>)>,
+    /// Cells finished this snapshot, in schedule order.
+    cells: Vec<CellResult>,
+    /// `[attempts, successes, retries, timeouts, losses]` this snapshot.
+    counters: [u64; 5],
+    /// Response cache for idempotent re-dispatch: `seq → (snapshot, frame)`.
+    seen: BTreeMap<u64, (u32, Vec<u8>)>,
+    cur_snapshot: u32,
+}
+
+impl<P: PureFallibleNetworkProbe> ShardWorker<P> {
+    /// A worker for shard `shard` probing through `probe`.
+    pub fn new(probe: P, shard: usize) -> Self {
+        ShardWorker {
+            probe,
+            shard,
+            small: BTreeMap::new(),
+            cells: Vec::new(),
+            counters: [0; 5],
+            seen: BTreeMap::new(),
+            cur_snapshot: 0,
+        }
+    }
+
+    /// Cluster size of the probe backend.
+    pub fn n(&self) -> usize {
+        self.probe.n()
+    }
+
+    /// Handle one coordinator frame, returning the response frame.
+    pub fn handle(&mut self, frame: &[u8]) -> Result<Vec<u8>, CoordError> {
+        match Message::decode(frame)? {
+            Message::Task(t) => self.handle_task(t),
+            Message::Flush(f) => self.handle_flush(f),
+            Message::Ack(_) | Message::Partial(_) => {
+                Err(CoordError::Protocol("worker received a coordinator-bound frame"))
+            }
+        }
+    }
+
+    fn handle_task(&mut self, t: ShardTask) -> Result<Vec<u8>, CoordError> {
+        if let Some((_, cached)) = self.seen.get(&t.seq) {
+            return Ok(cached.clone());
+        }
+        if t.snapshot != self.cur_snapshot {
+            // A new snapshot implies every barrier of the previous one
+            // completed; its cached responses can never be re-requested.
+            self.seen.retain(|_, (snap, _)| *snap >= t.snapshot);
+            self.cur_snapshot = t.snapshot;
+        }
+
+        // The whole retry series per pair is a pure function of
+        // `(pair, bytes, at, retry)`, so chunk order — and thread order —
+        // cannot affect the values.
+        let probe = &self.probe;
+        let series: Vec<AttemptSeries> = if t.pairs.len() >= PAR_MIN_PAIRS {
+            (0..t.pairs.len())
+                .into_par_iter()
+                .map(|k| {
+                    let (i, j) = t.pairs[k];
+                    run_attempt_series(
+                        |at| {
+                            probe.try_probe_pure(i as usize, j as usize, t.bytes, at, t.retry.deadline)
+                        },
+                        t.at,
+                        &t.retry,
+                    )
+                })
+                .collect()
+        } else {
+            t.pairs
+                .iter()
+                .map(|&(i, j)| {
+                    run_attempt_series(
+                        |at| {
+                            probe.try_probe_pure(i as usize, j as usize, t.bytes, at, t.retry.deadline)
+                        },
+                        t.at,
+                        &t.retry,
+                    )
+                })
+                .collect()
+        };
+        let max_consumed = series.iter().map(|s| s.consumed).fold(0.0, f64::max);
+
+        match t.phase {
+            Phase::Small => {
+                self.small.insert(t.round, (t.bytes, series));
+            }
+            Phase::Large => {
+                let (small_bytes, small) = self
+                    .small
+                    .remove(&t.round)
+                    .ok_or(CoordError::Protocol("large phase before small"))?;
+                if small.len() != t.pairs.len() {
+                    return Err(CoordError::Protocol("phase pair lists disagree"));
+                }
+                for (k, &(i, j)) in t.pairs.iter().enumerate() {
+                    let (s, l) = (small[k], series[k]);
+                    for ph in [s, l] {
+                        self.counters[0] += ph.attempts as u64;
+                        if ph.measured.is_some() {
+                            self.counters[1] += 1;
+                        }
+                        self.counters[2] += (ph.attempts - 1) as u64;
+                        self.counters[3] += ph.timeouts as u64;
+                        self.counters[4] += ph.losses as u64;
+                    }
+                    let attempts = s.attempts.max(l.attempts);
+                    let cell = match (s.measured, l.measured) {
+                        (Some(ts), Some(tl)) => {
+                            let link = LinkPerf::fit(small_bytes, ts, t.bytes, tl);
+                            CellResult {
+                                i,
+                                j,
+                                outcome: ProbeOutcome::Ok(attempts),
+                                alpha: link.alpha,
+                                beta: link.beta,
+                            }
+                        }
+                        _ => CellResult {
+                            i,
+                            j,
+                            outcome: ProbeOutcome::Failed(attempts),
+                            alpha: 0.0,
+                            beta: 0.0,
+                        },
+                    };
+                    self.cells.push(cell);
+                }
+            }
+        }
+
+        let ack = Message::Ack(PhaseAck {
+            seq: t.seq,
+            shard: self.shard as u32,
+            max_consumed,
+        })
+        .encode();
+        self.seen.insert(t.seq, (t.snapshot, ack.clone()));
+        Ok(ack)
+    }
+
+    fn handle_flush(&mut self, f: FlushRequest) -> Result<Vec<u8>, CoordError> {
+        if let Some((_, cached)) = self.seen.get(&f.seq) {
+            return Ok(cached.clone());
+        }
+        if !self.small.is_empty() {
+            return Err(CoordError::Protocol("flush with a round's large phase missing"));
+        }
+        let [attempts, successes, retries, timeouts, losses] = self.counters;
+        let partial = Message::Partial(PartialTpMatrix {
+            seq: f.seq,
+            shard: self.shard as u32,
+            snapshot: f.snapshot,
+            n: self.n() as u32,
+            attempts,
+            successes,
+            retries,
+            timeouts,
+            losses,
+            cells: std::mem::take(&mut self.cells),
+        })
+        .encode();
+        self.counters = [0; 5];
+        self.seen.insert(f.seq, (f.snapshot, partial.clone()));
+        Ok(partial)
+    }
+}

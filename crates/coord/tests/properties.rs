@@ -1,0 +1,115 @@
+//! Property tests of the sharded-calibration determinism contract: for
+//! random cluster sizes, shard counts, delivery orders (via random wire
+//! seeds) and fault rates, the merged sharded result `to_bits`-equals the
+//! unsharded fault-aware calibrator.
+
+use cloudconst_cloud::{CloudConfig, FaultPlan, FaultyCloud, SyntheticCloud};
+use cloudconst_coord::{Coordinator, CoordinatorConfig, SimConfig, SimTransport};
+use cloudconst_netmodel::{Calibrator, FaultyTpRun, ImputePolicy, RetryPolicy, TpMatrix};
+use proptest::prelude::*;
+
+fn assert_tp_bits_equal(a: &TpMatrix, b: &TpMatrix) {
+    assert_eq!(a.n(), b.n());
+    assert_eq!(a.steps(), b.steps());
+    for (x, y) in a.times().iter().zip(b.times()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "times differ");
+    }
+    for (ma, mb, what) in [
+        (a.alpha_matrix(), b.alpha_matrix(), "alpha"),
+        (a.inv_beta_matrix(), b.inv_beta_matrix(), "inv_beta"),
+        (a.mask_matrix(), b.mask_matrix(), "mask"),
+    ] {
+        for (k, (x, y)) in ma.as_slice().iter().zip(mb.as_slice()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what} cell {k} differs");
+        }
+    }
+}
+
+fn assert_runs_bit_identical(sharded: &FaultyTpRun, unsharded: &FaultyTpRun) {
+    assert_tp_bits_equal(&sharded.tp, &unsharded.tp);
+    assert_eq!(
+        sharded.overhead.to_bits(),
+        unsharded.overhead.to_bits(),
+        "overhead differs"
+    );
+    assert_eq!(sharded.logs, unsharded.logs, "probe logs differ");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn sharded_matches_unsharded_bit_for_bit(
+        n in 8usize..=64,
+        k in 1usize..=8,
+        wire_seed in 0u64..1_000_000,
+        fault_sel in 0u8..2,
+    ) {
+        // Fault rate ∈ {0, 5%}, sampled per case.
+        let rate = if fault_sel == 1 { 0.05 } else { 0.0 };
+        let cloud = FaultyCloud::new(
+            SyntheticCloud::new(CloudConfig::small_test(n, 11)),
+            FaultPlan::uniform(23, rate),
+        );
+        let retry = RetryPolicy::default();
+        let steps = 2;
+
+        let unsharded = Calibrator::new().calibrate_tp_faulty_par(
+            &cloud, 0.0, 60.0, steps, &retry, ImputePolicy::LastGood,
+        );
+
+        // A fresh wire seed per case scrambles response delivery order;
+        // loss stays off here so the run is re-dispatch-free (re-dispatch
+        // determinism has its own test).
+        let mut transport = SimTransport::new(
+            cloud.clone(),
+            k,
+            SimConfig { seed: wire_seed, loss_prob: 0.0, latency: (0.001, 0.050) },
+        );
+        let sharded = Coordinator::new(CoordinatorConfig::new(k))
+            .calibrate_tp(&mut transport, 0.0, 60.0, steps)
+            .expect("loss-free campaign cannot abort");
+
+        assert_runs_bit_identical(&sharded.run, &unsharded);
+        prop_assert_eq!(sharded.report.redispatches, 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn lossy_wire_still_merges_bit_identically(
+        n in 8usize..=32,
+        k in 2usize..=8,
+        wire_seed in 0u64..1_000_000,
+    ) {
+        // 10% frame loss per direction: re-dispatch engages constantly,
+        // and the merged result still cannot differ from unsharded.
+        let cloud = FaultyCloud::new(
+            SyntheticCloud::new(CloudConfig::small_test(n, 5)),
+            FaultPlan::uniform(31, 0.05),
+        );
+        let unsharded = Calibrator::new().calibrate_tp_faulty_par(
+            &cloud, 0.0, 60.0, 2, &RetryPolicy::default(), ImputePolicy::LastGood,
+        );
+        let mut transport = SimTransport::new(
+            cloud.clone(),
+            k,
+            SimConfig { seed: wire_seed, loss_prob: 0.10, latency: (0.001, 0.050) },
+        );
+        let mut config = CoordinatorConfig::new(k);
+        config.dispatch_attempts = 25;
+        let sharded = Coordinator::new(config)
+            .calibrate_tp(&mut transport, 0.0, 60.0, 2)
+            .expect("dispatch budget is ample for 10% loss");
+
+        assert_runs_bit_identical(&sharded.run, &unsharded);
+        prop_assert!(transport_lost_frames_reflected(&sharded.report.wire.frames_lost,
+                                                     sharded.report.redispatches));
+    }
+}
+
+/// Re-dispatches only happen in response to losses: a lossless run has
+/// zero of both, and any re-dispatch implies at least one lost frame.
+fn transport_lost_frames_reflected(frames_lost: &u64, redispatches: u64) -> bool {
+    (redispatches == 0) || (*frames_lost > 0)
+}

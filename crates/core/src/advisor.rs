@@ -39,6 +39,9 @@ pub struct AdvisorConfig {
     /// maintenance re-calibration (see [`Advisor::check_link`]); a single
     /// successful probe lifts the quarantine.
     pub quarantine_after: u32,
+    /// How many per-campaign [`HealthReport`]s the advisor retains in its
+    /// [`CampaignHistory`] ring (oldest evicted first; min 1).
+    pub history_capacity: usize,
     /// APG solver options (relevant to [`EstimatorKind::Rpca`] only).
     pub rpca: ApgOptions,
 }
@@ -58,6 +61,7 @@ impl Default for AdvisorConfig {
             impute: ImputePolicy::LastGood,
             degraded: DegradedPolicy::Fail,
             quarantine_after: 3,
+            history_capacity: 32,
             rpca: ApgOptions::default(),
         }
     }
@@ -93,6 +97,118 @@ pub struct HealthReport {
     pub degraded: bool,
     /// Directed links currently quarantined for persistent probe failure.
     pub quarantined: Vec<(usize, usize)>,
+}
+
+/// A bounded ring of per-campaign [`HealthReport`]s, oldest first.
+///
+/// The advisor records one report per *successful model install* — every
+/// calibration path, including fall-back installs that keep the previous
+/// model under [`DegradedPolicy::FallBackToPrevious`] (those still
+/// conclude a campaign, and their report says so via `degraded`). When
+/// the ring is full the oldest report is evicted.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignHistory {
+    capacity: usize,
+    reports: Vec<HealthReport>,
+}
+
+impl CampaignHistory {
+    /// An empty history retaining at most `capacity` reports (min 1).
+    pub fn new(capacity: usize) -> Self {
+        CampaignHistory {
+            capacity: capacity.max(1),
+            reports: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, report: HealthReport) {
+        if self.reports.len() == self.capacity {
+            self.reports.remove(0);
+        }
+        self.reports.push(report);
+    }
+
+    /// Reports currently retained.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// True before the first campaign concludes.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// Maximum reports retained before eviction starts.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The retained reports, oldest first.
+    pub fn reports(&self) -> &[HealthReport] {
+        &self.reports
+    }
+
+    /// The most recent campaign's report.
+    pub fn latest(&self) -> Option<&HealthReport> {
+        self.reports.last()
+    }
+
+    /// Aggregate view of the retained window — what an operator dashboard
+    /// would chart instead of scrolling individual reports.
+    pub fn summary(&self) -> CampaignSummary {
+        let campaigns = self.reports.len();
+        let mut s = CampaignSummary {
+            campaigns,
+            degraded_campaigns: 0,
+            attempts: 0,
+            retries: 0,
+            timeouts: 0,
+            losses: 0,
+            mean_success_rate: 1.0,
+            worst_success_rate: 1.0,
+            worst_masked_fraction: 0.0,
+        };
+        if campaigns == 0 {
+            return s;
+        }
+        let mut rate_sum = 0.0;
+        for r in &self.reports {
+            s.degraded_campaigns += usize::from(r.degraded);
+            s.attempts += r.attempts;
+            s.retries += r.retries;
+            s.timeouts += r.timeouts;
+            s.losses += r.losses;
+            rate_sum += r.probe_success_rate;
+            s.worst_success_rate = s.worst_success_rate.min(r.probe_success_rate);
+            s.worst_masked_fraction = s.worst_masked_fraction.max(r.masked_fraction);
+        }
+        s.mean_success_rate = rate_sum / campaigns as f64;
+        s
+    }
+}
+
+/// Aggregates of a [`CampaignHistory`] window (see
+/// [`CampaignHistory::summary`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSummary {
+    /// Reports in the window.
+    pub campaigns: usize,
+    /// How many of them ran degraded (partial solve or fall-back).
+    pub degraded_campaigns: usize,
+    /// Probe attempts summed over the window.
+    pub attempts: u64,
+    /// Retries summed over the window.
+    pub retries: u64,
+    /// Timeouts summed over the window.
+    pub timeouts: u64,
+    /// Losses summed over the window.
+    pub losses: u64,
+    /// Mean per-campaign probe success rate (1.0 when the window is empty).
+    pub mean_success_rate: f64,
+    /// Minimum per-campaign probe success rate.
+    pub worst_success_rate: f64,
+    /// Maximum per-campaign imputed-cell fraction.
+    pub worst_masked_fraction: f64,
 }
 
 /// The advisor's current model of the network.
@@ -143,11 +259,15 @@ pub struct Advisor {
     /// True when the last calibration kept the previous model under
     /// [`DegradedPolicy::FallBackToPrevious`].
     fell_back: bool,
+    /// Health reports of past campaigns, bounded by
+    /// [`AdvisorConfig::history_capacity`].
+    history: CampaignHistory,
 }
 
 impl Advisor {
     /// New advisor with the given configuration; no model yet.
     pub fn new(cfg: AdvisorConfig) -> Self {
+        let history = CampaignHistory::new(cfg.history_capacity);
         Advisor {
             cfg,
             model: None,
@@ -156,6 +276,7 @@ impl Advisor {
             fail_streaks: Vec::new(),
             quarantined: Vec::new(),
             fell_back: false,
+            history,
         }
     }
 
@@ -246,6 +367,17 @@ impl Advisor {
         self.finish_faulty(run, now)
     }
 
+    /// Adopt a fault-aware calibration run produced *outside* the advisor's
+    /// own probe loop — e.g. the sharded coordinator's merged
+    /// `ShardedRun.run` (`cloudconst-coord`), which is bit-identical to
+    /// what [`Advisor::calibrate_faulty_par`] would have produced on the
+    /// same probe. Updates link health and the quarantine list from the
+    /// run's per-snapshot logs, then rebuilds the model under the
+    /// configured [`DegradedPolicy`], exactly like the internal paths.
+    pub fn adopt_faulty_run(&mut self, run: FaultyTpRun, now: f64) -> Result<&ModelState> {
+        self.finish_faulty(run, now)
+    }
+
     fn finish_faulty(&mut self, run: FaultyTpRun, now: f64) -> Result<&ModelState> {
         self.update_link_health(&run.logs);
         self.probe_stats = Some(run.aggregate_log());
@@ -302,7 +434,6 @@ impl Advisor {
                     calibration_overhead: overhead,
                     tp,
                 });
-                Ok(self.model.as_ref().unwrap())
             }
             Err(CoreError::Rpca(RpcaError::NoConvergence { .. }))
                 if self.cfg.degraded == DegradedPolicy::FallBackToPrevious
@@ -313,10 +444,16 @@ impl Advisor {
                 // staleness via `degraded` and `model_age`.
                 self.calibrations += 1;
                 self.fell_back = true;
-                Ok(self.model.as_ref().unwrap())
             }
-            Err(e) => Err(e),
+            Err(e) => return Err(e),
         }
+        // Every successful install — fall-back included — concludes a
+        // campaign; its health report joins the bounded history.
+        let report = self
+            .health(now)
+            .expect("a model is in force after a successful install");
+        self.history.push(report);
+        Ok(self.model.as_ref().unwrap())
     }
 
     /// A truthful summary of model provenance and probe health at time
@@ -341,6 +478,11 @@ impl Advisor {
             degraded: model.estimate.degraded || self.fell_back,
             quarantined: self.quarantined.clone(),
         })
+    }
+
+    /// The bounded ring of past campaigns' health reports, oldest first.
+    pub fn campaign_history(&self) -> &CampaignHistory {
+        &self.history
     }
 
     /// Directed links currently quarantined for persistent probe failure.
@@ -678,6 +820,102 @@ mod tests {
         let healed = FaultyCloud::new(cloud, FaultPlan::none(4));
         advisor.calibrate_faulty_par(&healed, 10_000.0).unwrap();
         assert!(advisor.quarantined().is_empty());
+    }
+
+    #[test]
+    fn adopt_faulty_run_matches_internal_calibration() {
+        let cloud = SyntheticCloud::new(CloudConfig::small_test(10, 13));
+        let faulty = FaultyCloud::new(cloud, FaultPlan::uniform(3, 0.05));
+        let mut internal = Advisor::new(quick_cfg());
+        internal.calibrate_faulty_par(&faulty, 0.0).unwrap();
+
+        // Reproduce the identical run externally and adopt it: same model,
+        // same health, same quarantine state.
+        let mut external = Advisor::new(quick_cfg());
+        let cfg = external.config();
+        let run = Calibrator {
+            config: cfg.calibration.clone(),
+        }
+        .calibrate_tp_faulty_par(
+            &faulty,
+            0.0,
+            cfg.snapshot_interval,
+            cfg.time_step,
+            &cfg.retry.clone(),
+            cfg.impute,
+        );
+        external.adopt_faulty_run(run, 0.0).unwrap();
+
+        let (mi, me) = (internal.model().unwrap(), external.model().unwrap());
+        for i in 0..10 {
+            for j in 0..10 {
+                let a = mi.estimate.perf.link(i, j);
+                let b = me.estimate.perf.link(i, j);
+                assert_eq!(a.alpha.to_bits(), b.alpha.to_bits(), "alpha ({i},{j})");
+                assert_eq!(a.beta.to_bits(), b.beta.to_bits(), "beta ({i},{j})");
+            }
+        }
+        let (hi, he) = (
+            internal.health(100.0).unwrap(),
+            external.health(100.0).unwrap(),
+        );
+        assert_eq!(hi.attempts, he.attempts);
+        assert_eq!(hi.retries, he.retries);
+        assert_eq!(hi.quarantined, he.quarantined);
+        assert_eq!(external.campaign_history().len(), 1);
+    }
+
+    #[test]
+    fn campaign_history_records_and_evicts() {
+        let mut cloud = SyntheticCloud::new(CloudConfig::calm(6, 2));
+        let mut advisor = Advisor::new(AdvisorConfig {
+            history_capacity: 3,
+            ..quick_cfg()
+        });
+        assert!(advisor.campaign_history().is_empty());
+        assert_eq!(advisor.campaign_history().capacity(), 3);
+
+        for k in 0..5u32 {
+            advisor.calibrate(&mut cloud, f64::from(k) * 1000.0).unwrap();
+        }
+        let h = advisor.campaign_history();
+        assert_eq!(h.len(), 3, "ring must evict past capacity");
+        assert_eq!(advisor.calibrations(), 5);
+        // Freshly-installed models report age 0 at install time; the ring
+        // keeps the *last* three campaigns, all healthy on this path.
+        for r in h.reports() {
+            assert_eq!(r.model_age, 0.0);
+            assert_eq!(r.probe_success_rate, 1.0);
+            assert!(!r.degraded);
+        }
+        assert!(h.latest().is_some());
+
+        let s = h.summary();
+        assert_eq!(s.campaigns, 3);
+        assert_eq!(s.degraded_campaigns, 0);
+        assert_eq!(s.mean_success_rate, 1.0);
+        assert_eq!(s.worst_success_rate, 1.0);
+        assert_eq!(s.worst_masked_fraction, 0.0);
+    }
+
+    #[test]
+    fn campaign_history_flags_degraded_and_lossy_campaigns() {
+        let cloud = SyntheticCloud::new(CloudConfig::small_test(10, 21));
+        let faulty = FaultyCloud::new(cloud, FaultPlan::uniform(7, 0.10));
+        let mut advisor = Advisor::new(AdvisorConfig {
+            degraded: DegradedPolicy::AcceptNearTolerance(0.05),
+            ..quick_cfg()
+        });
+        advisor.calibrate_faulty_par(&faulty, 0.0).unwrap();
+        let s = advisor.campaign_history().summary();
+        assert_eq!(s.campaigns, 1);
+        assert!(s.worst_success_rate < 1.0);
+        assert!(s.retries > 0);
+        assert!(s.timeouts + s.losses > 0);
+        assert_eq!(
+            s.mean_success_rate,
+            advisor.campaign_history().latest().unwrap().probe_success_rate
+        );
     }
 
     #[test]

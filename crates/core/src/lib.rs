@@ -21,7 +21,10 @@ pub mod effectiveness;
 pub mod estimator;
 pub mod noise;
 
-pub use advisor::{Advisor, AdvisorConfig, HealthReport, MaintenanceDecision, ModelState};
+pub use advisor::{
+    Advisor, AdvisorConfig, CampaignHistory, CampaignSummary, HealthReport, MaintenanceDecision,
+    ModelState,
+};
 pub use effectiveness::{classify, EffectivenessBand};
 pub use estimator::{
     estimate, estimate_with, estimate_with_opts, ConstantEstimate, DegradedPolicy, EstimatorKind,

@@ -13,8 +13,8 @@
 
 use crate::alpha_beta::LinkPerf;
 use crate::fallible::{
-    FallibleNetworkProbe, ProbeAttempt, ProbeLog, ProbeOutcome, PureFallibleNetworkProbe,
-    RetryPolicy,
+    run_attempt_series, AttemptSeries, FallibleNetworkProbe, ProbeLog, ProbeOutcome,
+    PureFallibleNetworkProbe, RetryPolicy,
 };
 use crate::perf_matrix::PerfMatrix;
 use crate::tp_matrix::{ImputePolicy, TpMatrix};
@@ -97,60 +97,6 @@ pub struct CalibrationRun {
     /// Per-cell probe outcomes and aggregate attempt counters. The
     /// infallible paths record an all-success log.
     pub outcomes: ProbeLog,
-}
-
-/// What happened to one (pair, phase) across its retry budget.
-#[derive(Debug, Clone, Copy)]
-struct AttemptSeries {
-    /// The measurement, if any attempt completed.
-    measured: Option<f64>,
-    /// Total simulated seconds the pair spent on this phase: backoff waits,
-    /// burnt deadlines, and the successful attempt's own time.
-    consumed: f64,
-    /// Attempts issued (≥ 1).
-    attempts: u32,
-    timeouts: u32,
-    losses: u32,
-}
-
-/// Drive one (pair, phase) through the retry policy. `try_at` attempts the
-/// probe at an absolute time and is called with strictly increasing times
-/// as deadlines burn and backoff accumulates — each retry sees the network
-/// as of its own start instant, so a transient fault can clear.
-fn run_attempts(mut try_at: impl FnMut(f64) -> ProbeAttempt, start: f64, retry: &RetryPolicy) -> AttemptSeries {
-    let mut consumed = 0.0;
-    let mut timeouts = 0;
-    let mut losses = 0;
-    let max_attempts = retry.max_attempts.max(1);
-    for k in 1..=max_attempts {
-        consumed += retry.backoff(k);
-        match try_at(start + consumed) {
-            ProbeAttempt::Ok(secs) => {
-                return AttemptSeries {
-                    measured: Some(secs),
-                    consumed: consumed + secs,
-                    attempts: k,
-                    timeouts,
-                    losses,
-                }
-            }
-            ProbeAttempt::TimedOut => {
-                timeouts += 1;
-                consumed += retry.deadline;
-            }
-            ProbeAttempt::Lost => {
-                losses += 1;
-                consumed += retry.deadline;
-            }
-        }
-    }
-    AttemptSeries {
-        measured: None,
-        consumed,
-        attempts: max_attempts,
-        timeouts,
-        losses,
-    }
 }
 
 /// Drives a [`NetworkProbe`] through the calibration protocol.
@@ -312,7 +258,7 @@ impl Calibrator {
             pairs
                 .iter()
                 .map(|&(i, j)| {
-                    run_attempts(|t| probe.try_probe(i, j, bytes, t, retry.deadline), at, retry)
+                    run_attempt_series(|t| probe.try_probe(i, j, bytes, t, retry.deadline), at, retry)
                 })
                 .collect()
         })
@@ -334,7 +280,7 @@ impl Calibrator {
                     .into_par_iter()
                     .map(|k| {
                         let (i, j) = pairs[k];
-                        run_attempts(
+                        run_attempt_series(
                             |t| probe.try_probe_pure(i, j, bytes, t, retry.deadline),
                             at,
                             retry,
@@ -345,7 +291,7 @@ impl Calibrator {
                 pairs
                     .iter()
                     .map(|&(i, j)| {
-                        run_attempts(
+                        run_attempt_series(
                             |t| probe.try_probe_pure(i, j, bytes, t, retry.deadline),
                             at,
                             retry,
@@ -558,6 +504,7 @@ impl FaultyTpRun {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fallible::ProbeAttempt;
     use std::collections::HashSet;
 
     #[test]

@@ -42,7 +42,7 @@ pub enum ProbeAttempt {
 /// `backoff(k) = backoff_base · backoff_mult^(k−2)` for `k ≥ 2`. All
 /// delays are simulated seconds charged to the calibration overhead —
 /// never wall-clock sleeps.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RetryPolicy {
     /// Seconds a single attempt may run before it is declared dead. Must
     /// comfortably exceed an honest worst-case probe (an 8 MB transfer
@@ -86,6 +86,69 @@ impl RetryPolicy {
         } else {
             self.backoff_base * self.backoff_mult.powi(attempt as i32 - 2)
         }
+    }
+}
+
+/// What happened to one (pair, phase) across its retry budget: the
+/// bookkeeping unit shared by the in-process calibrator and the sharded
+/// coordinator/worker subsystem (`cloudconst-coord`), which must reproduce
+/// the exact same retry accounting on remote shards.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttemptSeries {
+    /// The measurement, if any attempt completed.
+    pub measured: Option<f64>,
+    /// Total simulated seconds the pair spent on this phase: backoff waits,
+    /// burnt deadlines, and the successful attempt's own time.
+    pub consumed: f64,
+    /// Attempts issued (≥ 1).
+    pub attempts: u32,
+    /// Attempts that ended in a timeout.
+    pub timeouts: u32,
+    /// Attempts that ended in a loss.
+    pub losses: u32,
+}
+
+/// Drive one (pair, phase) through the retry policy. `try_at` attempts the
+/// probe at an absolute time and is called with strictly increasing times
+/// as deadlines burn and backoff accumulates — each retry sees the network
+/// as of its own start instant, so a transient fault can clear.
+pub fn run_attempt_series(
+    mut try_at: impl FnMut(f64) -> ProbeAttempt,
+    start: f64,
+    retry: &RetryPolicy,
+) -> AttemptSeries {
+    let mut consumed = 0.0;
+    let mut timeouts = 0;
+    let mut losses = 0;
+    let max_attempts = retry.max_attempts.max(1);
+    for k in 1..=max_attempts {
+        consumed += retry.backoff(k);
+        match try_at(start + consumed) {
+            ProbeAttempt::Ok(secs) => {
+                return AttemptSeries {
+                    measured: Some(secs),
+                    consumed: consumed + secs,
+                    attempts: k,
+                    timeouts,
+                    losses,
+                }
+            }
+            ProbeAttempt::TimedOut => {
+                timeouts += 1;
+                consumed += retry.deadline;
+            }
+            ProbeAttempt::Lost => {
+                losses += 1;
+                consumed += retry.deadline;
+            }
+        }
+    }
+    AttemptSeries {
+        measured: None,
+        consumed,
+        attempts: max_attempts,
+        timeouts,
+        losses,
     }
 }
 

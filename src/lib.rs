@@ -10,6 +10,7 @@
 pub use cloudconst_apps as apps;
 pub use cloudconst_cloud as cloud;
 pub use cloudconst_collectives as collectives;
+pub use cloudconst_coord as coord;
 pub use cloudconst_core as core;
 pub use cloudconst_linalg as linalg;
 pub use cloudconst_netmodel as netmodel;

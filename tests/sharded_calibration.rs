@@ -1,0 +1,292 @@
+//! End-to-end integration of the sharded calibration coordinator
+//! (`cloudconst-coord`) with the rest of the stack: bit-identity against
+//! both unsharded calibrators for K ∈ {1, 2, 4, 8}, replay determinism of
+//! the simulated transport (including under frame loss with re-dispatch),
+//! Advisor adoption of sharded runs, and the binary `NetTrace` format
+//! against the JSON path.
+
+use cloudconst::cloud::{CloudConfig, FaultPlan, FaultyCloud, SyntheticCloud};
+use cloudconst::coord::{
+    decode_net_trace, encode_net_trace, CodecError, Coordinator, CoordinatorConfig,
+    LoopbackTransport, SimConfig, SimTransport,
+};
+use cloudconst::core::{Advisor, AdvisorConfig};
+use cloudconst::netmodel::{
+    Calibrator, FaultyTpRun, ImputePolicy, NetTrace, RetryPolicy, TpMatrix,
+};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// A deadline honest probes never hit: with a fault-free plan the fallible
+/// path then measures exactly what the infallible one would.
+fn generous_retry() -> RetryPolicy {
+    RetryPolicy {
+        deadline: 1e9,
+        ..RetryPolicy::default()
+    }
+}
+
+fn assert_tp_bits_equal(a: &TpMatrix, b: &TpMatrix, what: &str) {
+    assert_eq!(a.n(), b.n(), "{what}: n");
+    assert_eq!(a.steps(), b.steps(), "{what}: steps");
+    for (x, y) in a.times().iter().zip(b.times()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: times");
+    }
+    for (ma, mb, plane) in [
+        (a.alpha_matrix(), b.alpha_matrix(), "alpha"),
+        (a.inv_beta_matrix(), b.inv_beta_matrix(), "inv_beta"),
+        (a.mask_matrix(), b.mask_matrix(), "mask"),
+    ] {
+        for (k, (x, y)) in ma.as_slice().iter().zip(mb.as_slice()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: {plane} cell {k}");
+        }
+    }
+}
+
+fn assert_runs_bit_identical(sharded: &FaultyTpRun, unsharded: &FaultyTpRun, what: &str) {
+    assert_tp_bits_equal(&sharded.tp, &unsharded.tp, what);
+    assert_eq!(
+        sharded.overhead.to_bits(),
+        unsharded.overhead.to_bits(),
+        "{what}: overhead"
+    );
+    assert_eq!(sharded.logs, unsharded.logs, "{what}: logs");
+}
+
+/// Fault-free: for every shard count the merged sharded matrix carries the
+/// exact bits of the historic *infallible* parallel calibrator.
+#[test]
+fn sharded_matches_infallible_calibrator_for_all_k() {
+    let n = 16;
+    let steps = 3;
+    let cloud = SyntheticCloud::new(CloudConfig::ec2_like(n, 7));
+    let (tp, overhead) = Calibrator::new().calibrate_tp_par(&cloud, 0.0, 60.0, steps);
+
+    for k in SHARD_COUNTS {
+        let faulty = FaultyCloud::new(cloud.clone(), FaultPlan::none(1));
+        let mut config = CoordinatorConfig::new(k);
+        config.retry = generous_retry();
+        let mut transport = LoopbackTransport::new(faulty, k);
+        let sharded = Coordinator::new(config)
+            .calibrate_tp(&mut transport, 0.0, 60.0, steps)
+            .expect("loopback campaign cannot abort");
+
+        assert_tp_bits_equal(&sharded.run.tp, &tp, &format!("K={k} vs infallible"));
+        assert_eq!(sharded.run.overhead.to_bits(), overhead.to_bits(), "K={k}");
+        assert_eq!(sharded.report.success_rate, 1.0, "K={k}");
+        assert_eq!(sharded.report.redispatches, 0, "K={k}");
+        assert_eq!(sharded.report.shards, k as u64);
+    }
+}
+
+/// Fault-injected: for every shard count the merged run — matrix, masks,
+/// overhead and per-snapshot probe logs — equals the unsharded
+/// fault-aware calibrator bit for bit.
+#[test]
+fn sharded_matches_faulty_calibrator_for_all_k() {
+    let n = 16;
+    let steps = 3;
+    let retry = RetryPolicy::default();
+    let cloud = FaultyCloud::new(
+        SyntheticCloud::new(CloudConfig::small_test(n, 9)),
+        FaultPlan::uniform(17, 0.05),
+    );
+    let unsharded =
+        Calibrator::new().calibrate_tp_faulty_par(&cloud, 0.0, 60.0, steps, &retry, ImputePolicy::LastGood);
+
+    for k in SHARD_COUNTS {
+        let mut transport = SimTransport::new(
+            cloud.clone(),
+            k,
+            SimConfig {
+                seed: 40 + k as u64,
+                loss_prob: 0.0,
+                latency: (0.001, 0.050),
+            },
+        );
+        let sharded = Coordinator::new(CoordinatorConfig::new(k))
+            .calibrate_tp(&mut transport, 0.0, 60.0, steps)
+            .expect("loss-free campaign cannot abort");
+        assert_runs_bit_identical(&sharded.run, &unsharded, &format!("K={k}"));
+    }
+}
+
+/// Replay determinism: the same transport seed reproduces the campaign
+/// byte for byte — merged matrix AND report — even at 10% frame loss
+/// where re-dispatch engages. A different seed re-routes the wire but
+/// cannot change the merged result.
+#[test]
+fn sim_transport_replays_byte_identically_under_loss() {
+    let n = 12;
+    let k = 4;
+    let cloud = FaultyCloud::new(
+        SyntheticCloud::new(CloudConfig::small_test(n, 3)),
+        FaultPlan::uniform(5, 0.05),
+    );
+    let mut config = CoordinatorConfig::new(k);
+    config.dispatch_attempts = 25;
+    let coordinator = Coordinator::new(config);
+
+    let run_with_seed = |seed: u64| {
+        let mut transport = SimTransport::new(
+            cloud.clone(),
+            k,
+            SimConfig {
+                seed,
+                loss_prob: 0.10,
+                latency: (0.001, 0.050),
+            },
+        );
+        coordinator
+            .calibrate_tp(&mut transport, 0.0, 60.0, 2)
+            .expect("dispatch budget is ample for 10% loss")
+    };
+
+    let (a, b) = (run_with_seed(77), run_with_seed(77));
+    assert_runs_bit_identical(&a.run, &b.run, "replay");
+    assert_eq!(a.report, b.report, "replayed report must be identical");
+    assert_eq!(
+        serde_json::to_string(&a.report).unwrap(),
+        serde_json::to_string(&b.report).unwrap(),
+        "replayed report must serialize byte-identically"
+    );
+    assert!(
+        a.report.redispatches > 0,
+        "10% loss must actually engage re-dispatch"
+    );
+    assert!(a.report.wire.frames_lost > 0);
+
+    // A different wire seed: different weather on the wire, same merged run.
+    let c = run_with_seed(78);
+    assert_runs_bit_identical(&a.run, &c.run, "seed-independence");
+}
+
+/// The coordinator's merged run slots into Algorithm 1: adopting it gives
+/// the Advisor the exact model, health and quarantine state an internal
+/// fault-aware calibration would have produced.
+#[test]
+fn advisor_adopts_sharded_run() {
+    let n = 10;
+    let cloud = FaultyCloud::new(
+        SyntheticCloud::new(CloudConfig::small_test(n, 13)),
+        FaultPlan::uniform(19, 0.05),
+    );
+    let quick = AdvisorConfig {
+        time_step: 5,
+        snapshot_interval: 30.0,
+        ..AdvisorConfig::default()
+    };
+
+    let mut internal = Advisor::new(quick.clone());
+    internal.calibrate_faulty_par(&cloud, 0.0).unwrap();
+
+    let mut external = Advisor::new(quick.clone());
+    let mut config = CoordinatorConfig::new(4);
+    config.calibration = quick.calibration.clone();
+    config.retry = quick.retry.clone();
+    config.impute = quick.impute;
+    let mut transport = SimTransport::new(cloud.clone(), 4, SimConfig::default());
+    let sharded = Coordinator::new(config)
+        .calibrate_tp(&mut transport, 0.0, quick.snapshot_interval, quick.time_step)
+        .expect("loss-free campaign cannot abort");
+    external.adopt_faulty_run(sharded.run, 0.0).unwrap();
+
+    let (mi, me) = (internal.model().unwrap(), external.model().unwrap());
+    for i in 0..n {
+        for j in 0..n {
+            let a = mi.estimate.perf.link(i, j);
+            let b = me.estimate.perf.link(i, j);
+            assert_eq!(a.alpha.to_bits(), b.alpha.to_bits(), "alpha ({i},{j})");
+            assert_eq!(a.beta.to_bits(), b.beta.to_bits(), "beta ({i},{j})");
+        }
+    }
+    let (hi, he) = (internal.health(10.0).unwrap(), external.health(10.0).unwrap());
+    assert_eq!(hi.probe_success_rate, he.probe_success_rate);
+    assert_eq!(hi.attempts, he.attempts);
+    assert_eq!(hi.masked_fraction, he.masked_fraction);
+    assert_eq!(hi.quarantined, he.quarantined);
+    assert_eq!(external.campaign_history().len(), 1);
+}
+
+/// Build a trace of the constant component — the paper's premise is that
+/// this is what's worth persisting — sampled at `steps` times.
+fn constant_trace(cloud: &SyntheticCloud, steps: usize) -> NetTrace {
+    let mut trace = NetTrace::new(cloud.config().n_vms);
+    for s in 0..steps {
+        trace.record(s as f64 * 60.0, cloud.ground_truth(0).clone());
+    }
+    trace
+}
+
+/// The binary `NetTrace` format round-trips to the identical TP-matrix the
+/// JSON path yields, at ≤ 25% of the JSON byte count for a
+/// constant-component trace.
+#[test]
+fn binary_trace_round_trips_and_beats_json_size() {
+    let cloud = SyntheticCloud::new(CloudConfig::calm(24, 11));
+    let trace = constant_trace(&cloud, 10);
+
+    let mut json = Vec::new();
+    trace.save(&mut json).unwrap();
+    let binary = encode_net_trace(&trace);
+
+    let from_json = NetTrace::load(&json[..]).unwrap();
+    let from_binary = decode_net_trace(&binary).unwrap();
+    assert_eq!(from_binary, trace, "binary round-trip must be lossless");
+    assert_tp_bits_equal(
+        &from_binary.to_tp_matrix(),
+        &from_json.to_tp_matrix(),
+        "binary vs JSON TP-matrix",
+    );
+    assert!(
+        binary.len() * 4 <= json.len(),
+        "binary ({} B) must be <= 25% of JSON ({} B)",
+        binary.len(),
+        json.len()
+    );
+}
+
+/// A *volatile* trace (every sample different) still round-trips bit-exactly
+/// through the binary format — the size bound is a compression property of
+/// constant traces, losslessness is unconditional.
+#[test]
+fn binary_trace_is_lossless_on_volatile_traces() {
+    let cloud = SyntheticCloud::new(CloudConfig::ec2_like(12, 29));
+    let mut trace = NetTrace::new(12);
+    for s in 0..6 {
+        let t = s as f64 * 60.0;
+        let perf = cloudconst::netmodel::PerfMatrix::from_fn(12, |i, j| {
+            cloud.instantaneous(i, j, t)
+        });
+        trace.record(t, perf);
+    }
+    let decoded = decode_net_trace(&encode_net_trace(&trace)).unwrap();
+    assert_eq!(decoded, trace);
+    assert_tp_bits_equal(
+        &decoded.to_tp_matrix(),
+        &trace.to_tp_matrix(),
+        "volatile round-trip",
+    );
+}
+
+/// Corruption anywhere in a binary trace surfaces as a typed codec error,
+/// never a panic or silently wrong data.
+#[test]
+fn corrupted_binary_trace_is_a_typed_error() {
+    let cloud = SyntheticCloud::new(CloudConfig::calm(6, 2));
+    let trace = constant_trace(&cloud, 3);
+    let good = encode_net_trace(&trace);
+
+    // Truncation at any prefix length.
+    for cut in [0, 4, 10, good.len() - 1] {
+        assert!(decode_net_trace(&good[..cut]).is_err(), "cut at {cut}");
+    }
+    // A flipped byte mid-payload trips the checksum.
+    let mut bad = good.clone();
+    let mid = bad.len() / 2;
+    bad[mid] ^= 0x40;
+    match decode_net_trace(&bad) {
+        Err(CodecError::ChecksumMismatch | CodecError::Malformed(_)) => {}
+        other => panic!("corruption must be a typed error, got {other:?}"),
+    }
+}
