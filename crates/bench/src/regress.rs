@@ -12,7 +12,7 @@
 use cloudconst_cloud::{CloudConfig, FaultPlan, FaultyCloud, SyntheticCloud};
 use cloudconst_coord::{Coordinator, CoordinatorConfig, LoopbackTransport};
 use cloudconst_linalg::Mat;
-use cloudconst_netmodel::{Calibrator, ImputePolicy, RetryPolicy};
+use cloudconst_netmodel::{AdaptiveRetryPolicy, Calibrator, ImputePolicy, RetryPolicy};
 use cloudconst_rpca::{apg, ApgOptions};
 use cloudconst_simnet::{BackgroundSpec, Simulator, Topology};
 use serde::{Deserialize, Serialize};
@@ -148,6 +148,70 @@ pub fn bench_calibration_faulty(n: usize, reps: usize) -> BenchRecord {
     }
 }
 
+/// Time a 10-snapshot calibration under correlated rack-blackout faults
+/// with model-based imputation: whole racks go dark per snapshot window
+/// and the masked cells are filled from the rank-one `N_D` prediction.
+/// The metric records the campaign's masked fraction so a change in the
+/// fault-domain machinery (more or fewer cells lost) is visible next to
+/// the wall time of the extra RPCA solves the imputation performs.
+pub fn bench_calibration_rack_blackout(n: usize, reps: usize) -> BenchRecord {
+    let base = SyntheticCloud::new(CloudConfig::ec2_like(n, 7));
+    let plan = FaultPlan::rack_blackouts(11, base.placement(0), 0.35, 60.0);
+    let cloud = FaultyCloud::new(base, plan);
+    let retry = RetryPolicy::default();
+    let mut masked = 0.0;
+    let seconds = best_of(reps, || {
+        let run = Calibrator::new().calibrate_tp_faulty_par(
+            &cloud,
+            0.0,
+            60.0,
+            10,
+            &retry,
+            ImputePolicy::ModelPrediction,
+        );
+        masked = run.tp.masked_fraction();
+        run
+    });
+    BenchRecord {
+        name: "calibration_tp_rack_blackout".into(),
+        n: n as u64,
+        seconds,
+        metric: masked,
+    }
+}
+
+/// Time a 10-snapshot calibration through the history-driven adaptive
+/// retry path at a 5% uniform fault rate. The metric records the probe
+/// success rate, directly comparable to `calibration_tp_faulty_5pct`'s:
+/// the adaptive planner must hold the rate while re-budgeting attempts,
+/// and the wall-time delta is the cost of the per-campaign planning pass.
+pub fn bench_calibration_adaptive_retry(n: usize, reps: usize) -> BenchRecord {
+    let cloud = FaultyCloud::new(
+        SyntheticCloud::new(CloudConfig::ec2_like(n, 7)),
+        FaultPlan::uniform(7, 0.05),
+    );
+    let adaptive = AdaptiveRetryPolicy::default();
+    let mut success_rate = 0.0;
+    let seconds = best_of(reps, || {
+        let run = Calibrator::new().calibrate_tp_faulty_adaptive_par(
+            &cloud,
+            0.0,
+            60.0,
+            10,
+            &adaptive,
+            ImputePolicy::LastGood,
+        );
+        success_rate = run.aggregate_log().success_rate();
+        run
+    });
+    BenchRecord {
+        name: "calibration_adaptive_retry".into(),
+        n: n as u64,
+        seconds,
+        metric: success_rate,
+    }
+}
+
 /// Time the sharded calibration coordinator against the unsharded
 /// fault-aware calibrator on the same (fault-free) cloud: two records,
 /// `calibration_tp_unsharded` and `calibration_sharded`, the latter's
@@ -240,6 +304,8 @@ pub fn run_suite(sizes: &[usize], serial_rpca_seconds: Option<f64>, date: String
     if let Some(&n) = sizes.iter().find(|&&n| n >= 64).or(sizes.last()) {
         let reps = if n >= 128 { 1 } else { 3 };
         records.push(bench_calibration_faulty(n, reps));
+        records.push(bench_calibration_rack_blackout(n, reps));
+        records.push(bench_calibration_adaptive_retry(n, reps));
     }
     // Sharded coordinator vs unsharded at service scale (N = 256) on full
     // runs; the quick run keeps the record at its largest sweep size so CI
@@ -330,6 +396,26 @@ mod tests {
             faulty.metric > 0.5 && faulty.metric < 1.0,
             "5% faults must show in the success rate: {}",
             faulty.metric
+        );
+        let blackout = report
+            .records
+            .iter()
+            .find(|r| r.name == "calibration_tp_rack_blackout")
+            .unwrap();
+        assert!(
+            blackout.metric > 0.0 && blackout.metric < 1.0,
+            "rack blackouts must mask some but not all cells: {}",
+            blackout.metric
+        );
+        let adaptive = report
+            .records
+            .iter()
+            .find(|r| r.name == "calibration_adaptive_retry")
+            .unwrap();
+        assert!(
+            adaptive.metric > 0.5 && adaptive.metric <= 1.0,
+            "adaptive retry must hold the success rate: {}",
+            adaptive.metric
         );
         assert!(names.contains(&"calibration_tp_unsharded"));
         assert!(names.contains(&"calibration_sharded"));

@@ -21,6 +21,7 @@
 //!   explicitly (blackout windows, flaky links), not by accident of RNG.
 
 use crate::hash;
+use crate::placement::Placement;
 use crate::synthetic::SyntheticCloud;
 use cloudconst_netmodel::{
     FallibleNetworkProbe, NetworkProbe, ProbeAttempt, PureFallibleNetworkProbe, PureNetworkProbe,
@@ -33,6 +34,29 @@ const STREAM_TIMEOUT: u64 = 0xF2;
 const STREAM_STRAGGLE_ON: u64 = 0xF3;
 const STREAM_STRAGGLE_FAC: u64 = 0xF4;
 const STREAM_FLAKY: u64 = 0xF5;
+const STREAM_DOMAIN_BLACKOUT: u64 = 0xF6;
+const STREAM_DOMAIN_CONGEST_ON: u64 = 0xF7;
+const STREAM_DOMAIN_CONGEST_FAC: u64 = 0xF8;
+
+/// A correlated fault domain: a set of VMs that fail *together* because
+/// they share hidden infrastructure (a rack's ToR switch, a PDU). Derived
+/// from the cloud's placement via [`FaultPlan::with_rack_domains`], but any
+/// grouping works — the plan only sees the membership list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultDomain {
+    /// Stable identifier, used in the event hash streams (rack index when
+    /// derived from a placement).
+    pub id: u64,
+    /// Member VM indices.
+    pub vms: Vec<usize>,
+}
+
+impl FaultDomain {
+    /// Is VM `v` a member of this domain?
+    pub fn contains(&self, v: usize) -> bool {
+        self.vms.contains(&v)
+    }
+}
 
 /// A maintenance/outage window during which one VM answers no probes:
 /// every attempt touching `vm` in `[start, end)` is lost.
@@ -89,6 +113,27 @@ pub struct FaultPlan {
     pub blackouts: Vec<Blackout>,
     /// Links with extra persistent loss.
     pub flaky_links: Vec<FlakyLink>,
+    /// Correlated fault domains (typically one per rack, via
+    /// [`FaultPlan::with_rack_domains`]). Empty ⇒ no correlated events.
+    pub domains: Vec<FaultDomain>,
+    /// Per-window probability that a whole domain blacks out: every probe
+    /// touching any member VM during the window is lost.
+    pub domain_blackout_prob: f64,
+    /// Per-window probability that an unordered *pair* of domains is
+    /// congested: every cross-domain probe between them has its true
+    /// transfer time inflated by one shared factor for the whole window.
+    pub domain_congestion_prob: f64,
+    /// `(lo, hi)` range of the shared congestion multiplier (≥ 1).
+    pub domain_congestion_factor: (f64, f64),
+    /// Length of the domain-event decision window, simulated seconds.
+    /// Events are pure hashes of `(seed, stream, domain id(s), window)`,
+    /// so replay stays bit-exact. Must be > 0 when event rates are.
+    pub domain_window: f64,
+    /// Cap on simultaneously dark domains per window (0 = unlimited).
+    /// When capped, lower-indexed domains win: the set of dark domains is
+    /// the first `cap` whose blackout roll passed, still a pure function
+    /// of `(seed, window)`.
+    pub max_concurrent_domain_events: usize,
 }
 
 impl FaultPlan {
@@ -103,6 +148,12 @@ impl FaultPlan {
             straggler_factor: (1.0, 1.0),
             blackouts: Vec::new(),
             flaky_links: Vec::new(),
+            domains: Vec::new(),
+            domain_blackout_prob: 0.0,
+            domain_congestion_prob: 0.0,
+            domain_congestion_factor: (1.0, 1.0),
+            domain_window: 0.0,
+            max_concurrent_domain_events: 0,
         }
     }
 
@@ -118,9 +169,35 @@ impl FaultPlan {
             timeout_prob: rate * 0.5,
             straggler_prob: rate,
             straggler_factor: (2.0, 6.0),
-            blackouts: Vec::new(),
-            flaky_links: Vec::new(),
+            ..FaultPlan::none(seed)
         }
+    }
+
+    /// Attach one correlated fault domain per (non-empty) rack of
+    /// `placement`, keeping every other knob of the plan.
+    pub fn with_rack_domains(mut self, placement: &Placement) -> Self {
+        self.domains = placement
+            .rack_groups()
+            .into_iter()
+            .enumerate()
+            .filter(|(_, vms)| !vms.is_empty())
+            .map(|(r, vms)| FaultDomain { id: r as u64, vms })
+            .collect();
+        self
+    }
+
+    /// A plan whose only faults are correlated rack-wide blackouts: per
+    /// `window` seconds, each rack of `placement` goes dark with
+    /// probability `prob`, at most one rack at a time.
+    pub fn rack_blackouts(seed: u64, placement: &Placement, prob: f64, window: f64) -> Self {
+        assert!(window > 0.0, "domain window must be positive");
+        FaultPlan {
+            domain_blackout_prob: prob.clamp(0.0, 1.0),
+            domain_window: window,
+            max_concurrent_domain_events: 1,
+            ..FaultPlan::none(seed)
+        }
+        .with_rack_domains(placement)
     }
 
     /// Does this plan inject anything at all?
@@ -130,6 +207,63 @@ impl FaultPlan {
             && self.straggler_prob <= 0.0
             && self.blackouts.is_empty()
             && self.flaky_links.is_empty()
+            && (self.domains.is_empty()
+                || (self.domain_blackout_prob <= 0.0 && self.domain_congestion_prob <= 0.0))
+    }
+
+    /// Index (into `domains`) of the domain VM `v` belongs to, if any.
+    fn domain_of(&self, v: usize) -> Option<usize> {
+        self.domains.iter().position(|d| d.contains(v))
+    }
+
+    /// The domain-event window `now` falls in.
+    fn window_index(&self, now: f64) -> u64 {
+        (now / self.domain_window).floor().max(0.0) as u64
+    }
+
+    /// Raw blackout roll for a domain id in window `w`.
+    fn blackout_roll(&self, id: u64, w: u64) -> bool {
+        hash::uniform(&[self.seed, STREAM_DOMAIN_BLACKOUT, id, w], 0.0, 1.0)
+            < self.domain_blackout_prob
+    }
+
+    /// Is the domain at index `idx` dark during window `w`? Applies the
+    /// concurrency cap: only the first `cap` domains (by index) whose roll
+    /// passed are actually dark.
+    fn domain_dark(&self, idx: usize, w: u64) -> bool {
+        if self.domain_blackout_prob <= 0.0 || !self.blackout_roll(self.domains[idx].id, w) {
+            return false;
+        }
+        let cap = self.max_concurrent_domain_events;
+        if cap == 0 {
+            return true;
+        }
+        let rank = self.domains[..idx]
+            .iter()
+            .filter(|d| self.blackout_roll(d.id, w))
+            .count();
+        rank < cap
+    }
+
+    /// Shared congestion multiplier for the unordered domain pair
+    /// `(da, db)` during window `w`, if the pair is congested. The factor
+    /// is keyed by the pair and the window only, so every link crossing
+    /// the pair sees the *same* slowdown — that is the correlation.
+    fn pair_congestion(&self, da: u64, db: u64, w: u64) -> Option<f64> {
+        if self.domain_congestion_prob <= 0.0 {
+            return None;
+        }
+        let (lo_id, hi_id) = if da <= db { (da, db) } else { (db, da) };
+        let key = [self.seed, STREAM_DOMAIN_CONGEST_ON, lo_id, hi_id, w];
+        if hash::uniform(&key, 0.0, 1.0) >= self.domain_congestion_prob {
+            return None;
+        }
+        let (lo, hi) = self.domain_congestion_factor;
+        Some(hash::uniform(
+            &[self.seed, STREAM_DOMAIN_CONGEST_FAC, lo_id, hi_id, w],
+            lo,
+            hi,
+        ))
     }
 
     /// Extra loss probability from a flaky-link entry for `(i, j)`, if any.
@@ -145,8 +279,9 @@ impl FaultPlan {
     /// `true_secs`. Pure in `(i, j, bytes, now, deadline)` for a fixed
     /// plan, so the parallel calibration path may call it from workers.
     ///
-    /// Precedence: blackout → loss (flaky then global) → hard timeout →
-    /// straggler inflation → the honest deadline check every attempt gets.
+    /// Precedence: blackout (per-VM, then domain-wide) → loss (flaky then
+    /// global) → hard timeout → straggler and domain-congestion inflation →
+    /// the honest deadline check every attempt gets.
     pub fn apply(
         &self,
         i: usize,
@@ -162,6 +297,21 @@ impl FaultPlan {
         if self.blackouts.iter().any(|b| b.covers(i, j, now)) {
             return ProbeAttempt::Lost;
         }
+        let domain_pair = if self.domains.is_empty() || self.domain_window <= 0.0 {
+            None
+        } else {
+            let w = self.window_index(now);
+            let (di, dj) = (self.domain_of(i), self.domain_of(j));
+            if di.into_iter().chain(dj).any(|d| self.domain_dark(d, w)) {
+                return ProbeAttempt::Lost;
+            }
+            match (di, dj) {
+                (Some(a), Some(b)) if a != b => {
+                    Some((self.domains[a].id, self.domains[b].id, w))
+                }
+                _ => None,
+            }
+        };
         let tb = now.to_bits();
         let (iu, ju) = (i as u64, j as u64);
         let flaky = self.flaky_loss(i, j);
@@ -189,6 +339,11 @@ impl FaultPlan {
         {
             let (lo, hi) = self.straggler_factor;
             secs *= hash::uniform(&[self.seed, STREAM_STRAGGLE_FAC, iu, ju, tb, bytes], lo, hi);
+        }
+        if let Some((da, db, w)) = domain_pair {
+            if let Some(factor) = self.pair_congestion(da, db, w) {
+                secs *= factor;
+            }
         }
         if secs > deadline {
             ProbeAttempt::TimedOut
@@ -475,10 +630,124 @@ mod tests {
                 j: 2,
                 loss_prob: 0.4,
             }],
+            domains: vec![FaultDomain {
+                id: 0,
+                vms: vec![0, 1, 2],
+            }],
+            domain_blackout_prob: 0.2,
+            domain_congestion_prob: 0.1,
+            domain_congestion_factor: (2.0, 4.0),
+            domain_window: 300.0,
+            max_concurrent_domain_events: 1,
             ..FaultPlan::uniform(99, 0.1)
         };
         let json = serde_json::to_string(&plan).unwrap();
         let back: FaultPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn rack_blackout_kills_every_link_touching_the_rack() {
+        let c = cloud(12);
+        let placement = c.placement(0).clone();
+        // prob = 1 with a cap of 1: exactly the first domain is dark, in
+        // every window.
+        let plan = FaultPlan::rack_blackouts(4, &placement, 1.0, 600.0);
+        assert!(!plan.is_fault_free());
+        let dark: Vec<usize> = plan.domains[0].vms.clone();
+        let faulty = FaultyCloud::new(c, plan);
+        for t in [0.0, 50.0, 1234.5] {
+            for i in 0..12 {
+                for j in 0..12 {
+                    if i == j {
+                        continue;
+                    }
+                    let touches = dark.contains(&i) || dark.contains(&j);
+                    let got = faulty.try_probe_pure(i, j, 1, t, 1e9);
+                    if touches {
+                        assert_eq!(got, ProbeAttempt::Lost, "({i},{j}) at {t}");
+                    } else {
+                        assert!(matches!(got, ProbeAttempt::Ok(_)), "({i},{j}) at {t}: {got:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn at_most_one_domain_dark_when_capped() {
+        let c = cloud(12);
+        let placement = c.placement(0).clone();
+        let mut plan = FaultPlan::rack_blackouts(21, &placement, 0.6, 100.0);
+        plan.max_concurrent_domain_events = 1;
+        let mut any_dark_window = false;
+        for w in 0..200u64 {
+            let dark = (0..plan.domains.len())
+                .filter(|&d| plan.domain_dark(d, w))
+                .count();
+            assert!(dark <= 1, "window {w} has {dark} dark domains");
+            any_dark_window |= dark == 1;
+        }
+        assert!(any_dark_window, "0.6/window over 200 windows never fired");
+    }
+
+    #[test]
+    fn rack_pair_congestion_shares_one_factor_across_the_pair() {
+        let c = cloud(12);
+        let placement = c.placement(0).clone();
+        let plan = FaultPlan {
+            domain_congestion_prob: 1.0,
+            domain_congestion_factor: (3.0, 3.0),
+            domain_window: 500.0,
+            ..FaultPlan::none(8)
+        }
+        .with_rack_domains(&placement);
+        let faulty = FaultyCloud::new(c.clone(), plan.clone());
+        let mut cross = 0;
+        for i in 0..12 {
+            for j in 0..12 {
+                if i == j {
+                    continue;
+                }
+                let truth = c.probe_pure(i, j, BETA_PROBE_BYTES, 42.0);
+                let got = match faulty.try_probe_pure(i, j, BETA_PROBE_BYTES, 42.0, 1e9) {
+                    ProbeAttempt::Ok(s) => s,
+                    other => panic!("congestion never loses probes: {other:?}"),
+                };
+                if placement.rack_of(i) != placement.rack_of(j) {
+                    cross += 1;
+                    assert!(
+                        (got - 3.0 * truth).abs() < 1e-9 * truth.max(1.0),
+                        "cross-rack ({i},{j}) factor {}",
+                        got / truth
+                    );
+                } else {
+                    assert_eq!(got.to_bits(), truth.to_bits(), "same-rack ({i},{j})");
+                }
+            }
+        }
+        assert!(cross > 0, "test cloud has no cross-rack links");
+    }
+
+    #[test]
+    fn domain_events_are_transient_across_windows() {
+        let c = cloud(12);
+        let placement = c.placement(0).clone();
+        let plan = FaultPlan::rack_blackouts(77, &placement, 0.1, 50.0);
+        let faulty = FaultyCloud::new(c, plan.clone());
+        // Pick a cross-domain link and scan windows: it must be lost in
+        // some and alive in others — blackouts clear when the window rolls.
+        let (i, j) = (plan.domains[0].vms[0], plan.domains[1].vms[0]);
+        let mut lost = 0;
+        let mut ok = 0;
+        for w in 0..100 {
+            match faulty.try_probe_pure(i, j, 1, w as f64 * 50.0 + 1.0, 1e9) {
+                ProbeAttempt::Lost => lost += 1,
+                ProbeAttempt::Ok(_) => ok += 1,
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!(lost > 0, "blackouts never fired in 100 windows");
+        assert!(ok > lost, "blackouts should be the minority at 0.1/window");
     }
 }

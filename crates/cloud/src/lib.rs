@@ -30,7 +30,7 @@ pub mod placement;
 mod synthetic;
 
 pub use config::CloudConfig;
-pub use faults::{Blackout, FaultPlan, FaultyCloud, FlakyLink};
+pub use faults::{Blackout, FaultDomain, FaultPlan, FaultyCloud, FlakyLink};
 pub use placement::{Placement, PlacementDistance};
 pub use synthetic::SyntheticCloud;
 

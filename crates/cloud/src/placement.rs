@@ -98,6 +98,17 @@ impl Placement {
         }
     }
 
+    /// The VMs of each rack, indexed by rack. A rack is the natural
+    /// correlated fault domain: one ToR switch or PDU failure takes out
+    /// every link touching every VM in the group at once.
+    pub fn rack_groups(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.racks];
+        for v in 0..self.n() {
+            groups[self.rack_of(v)].push(v);
+        }
+        groups
+    }
+
     /// A copy of this placement with each VM independently migrated to a
     /// fresh random host with probability `migrate_frac` — the regime-shift
     /// event (VM consolidation / migration, paper §I and §IV-A).
@@ -191,6 +202,22 @@ mod tests {
                 assert_eq!(p.distance(a, b), p.distance(b, a));
             }
         }
+    }
+
+    #[test]
+    fn rack_groups_partition_the_vms() {
+        let p = Placement::random(24, 4, 4, 2, 17);
+        let groups = p.rack_groups();
+        assert_eq!(groups.len(), 4);
+        let mut seen = [false; 24];
+        for (r, vms) in groups.iter().enumerate() {
+            for &v in vms {
+                assert_eq!(p.rack_of(v), r);
+                assert!(!seen[v], "VM {v} listed twice");
+                seen[v] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every VM belongs to some rack");
     }
 
     #[test]

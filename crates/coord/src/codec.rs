@@ -43,6 +43,8 @@ pub const KIND_FLUSH_REQUEST: u16 = 3;
 pub const KIND_PARTIAL_TP: u16 = 4;
 /// Frame kind: an on-disk binary [`NetTrace`].
 pub const KIND_NET_TRACE: u16 = 5;
+/// Frame kind: a coordinator → worker snapshot reset (shard failover).
+pub const KIND_RESET: u16 = 6;
 
 /// Typed decode failure. Corruption is detected, never panicked on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -47,11 +47,19 @@ pub struct CoordinatorConfig {
     /// Maximum sends per task/flush frame before the campaign aborts with
     /// [`CoordError::ShardLost`] (1 = never re-dispatch).
     pub dispatch_attempts: u32,
+    /// Shard-death failovers allowed per campaign. When a barrier exhausts
+    /// its dispatch budget, the shards still owing responses are declared
+    /// dead: the current snapshot is reset on the survivors and restarted
+    /// with its pairs re-partitioned across them — every completed
+    /// snapshot is kept as-is. `0` (the default) disables failover and
+    /// reproduces the historic abort-with-[`CoordError::ShardLost`]
+    /// behaviour exactly.
+    pub failover_attempts: u32,
 }
 
 impl CoordinatorConfig {
     /// Defaults for `shards` workers: paper probe sizes, default retry,
-    /// `LastGood` imputation, a dispatch budget of 5.
+    /// `LastGood` imputation, a dispatch budget of 5, failover disabled.
     pub fn new(shards: usize) -> Self {
         CoordinatorConfig {
             shards,
@@ -59,6 +67,7 @@ impl CoordinatorConfig {
             retry: RetryPolicy::default(),
             impute: ImputePolicy::LastGood,
             dispatch_attempts: 5,
+            failover_attempts: 0,
         }
     }
 }
@@ -91,6 +100,11 @@ pub struct CampaignReport {
     /// Task/flush frames re-sent after the wire dropped them (or their
     /// responses).
     pub redispatches: u64,
+    /// Shard deaths survived: snapshot restarts that re-partitioned the
+    /// dead shard's pairs across the survivors.
+    pub failovers: u64,
+    /// Shards still alive when the campaign finished.
+    pub shards_alive: u64,
     /// Transport-level frame accounting.
     pub wire: WireStats,
 }
@@ -134,74 +148,112 @@ impl Coordinator {
             return Err(CoordError::Config("dispatch_attempts must be >= 1"));
         }
         let n = transport.n();
-        let plan = ShardPlan::new(n, self.config.shards, &self.config.calibration);
+        let mut alive: Vec<usize> = (0..self.config.shards).collect();
+        let mut plan = ShardPlan::new(n, alive.len(), &self.config.calibration);
 
         let mut tp = TpMatrix::new(n);
         let mut overhead = 0.0;
         let mut logs: Vec<ProbeLog> = Vec::with_capacity(steps);
         let mut seq = 0u64;
         let mut redispatches = 0u64;
+        let mut failovers = 0u64;
 
         for k in 0..steps {
             let t = start + k as f64 * interval;
-            let mut clock = t;
-            for r in 0..plan.rounds() {
-                for (phase, bytes) in [
-                    (Phase::Small, self.config.calibration.small_bytes),
-                    (Phase::Large, self.config.calibration.large_bytes),
-                ] {
-                    let tasks: Vec<(usize, u64, Vec<u8>)> = plan
-                        .chunks(r)
-                        .into_iter()
-                        .map(|(shard, pairs)| {
-                            seq += 1;
-                            let frame = Message::Task(ShardTask {
-                                seq,
-                                shard: shard as u32,
-                                snapshot: k as u32,
-                                round: r as u32,
-                                phase,
-                                bytes,
-                                at: clock,
-                                retry: self.config.retry.clone(),
-                                pairs: pairs
-                                    .iter()
-                                    .map(|&(i, j)| (i as u32, j as u32))
-                                    .collect(),
+            // One snapshot attempt per iteration; a shard death resets the
+            // survivors and restarts the snapshot with a re-partitioned
+            // plan. Completed snapshots are never revisited.
+            let (perf, log, clock) = 'snapshot: loop {
+                let mut clock = t;
+                for r in 0..plan.rounds() {
+                    for (phase, bytes) in [
+                        (Phase::Small, self.config.calibration.small_bytes),
+                        (Phase::Large, self.config.calibration.large_bytes),
+                    ] {
+                        let tasks: Vec<(usize, u64, Vec<u8>)> = plan
+                            .chunks(r)
+                            .into_iter()
+                            .map(|(slot, pairs)| {
+                                let shard = alive[slot];
+                                seq += 1;
+                                let frame = Message::Task(ShardTask {
+                                    seq,
+                                    shard: shard as u32,
+                                    snapshot: k as u32,
+                                    round: r as u32,
+                                    phase,
+                                    bytes,
+                                    at: clock,
+                                    retry: self.config.retry.clone(),
+                                    pairs: pairs
+                                        .iter()
+                                        .map(|&(i, j)| (i as u32, j as u32))
+                                        .collect(),
+                                })
+                                .encode();
+                                (shard, seq, frame)
                             })
-                            .encode();
-                            (shard, seq, frame)
-                        })
-                        .collect();
-                    let maxima =
-                        self.run_barrier(transport, tasks, &mut redispatches, |msg| match msg {
-                            Message::Ack(a) => Ok((a.seq, a.max_consumed)),
-                            _ => Err(CoordError::Protocol("expected a phase ack")),
-                        })?;
-                    clock += maxima.into_iter().fold(0.0, f64::max);
+                            .collect();
+                        let maxima = match self.run_barrier(
+                            transport,
+                            tasks,
+                            &mut redispatches,
+                            |msg| match msg {
+                                Message::Ack(a) => Ok((a.seq, a.max_consumed)),
+                                _ => Err(CoordError::Protocol("expected a phase ack")),
+                            },
+                        )? {
+                            Barrier::Done(maxima) => maxima,
+                            Barrier::Dead { shards, missing } => {
+                                self.failover(
+                                    transport, &mut alive, shards, missing, &mut failovers,
+                                    &mut seq, k as u32, &mut redispatches,
+                                )?;
+                                plan = ShardPlan::new(n, alive.len(), &self.config.calibration);
+                                continue 'snapshot;
+                            }
+                        };
+                        clock += maxima.into_iter().fold(0.0, f64::max);
+                    }
                 }
-            }
 
-            // Snapshot barrier: collect every shard's fragment and merge.
-            let flushes: Vec<(usize, u64, Vec<u8>)> = (0..self.config.shards)
-                .map(|shard| {
-                    seq += 1;
-                    let frame = Message::Flush(FlushRequest {
-                        seq,
-                        shard: shard as u32,
-                        snapshot: k as u32,
+                // Snapshot barrier: collect every live shard's fragment.
+                let flushes: Vec<(usize, u64, Vec<u8>)> = alive
+                    .iter()
+                    .map(|&shard| {
+                        seq += 1;
+                        let frame = Message::Flush(FlushRequest {
+                            seq,
+                            shard: shard as u32,
+                            snapshot: k as u32,
+                        })
+                        .encode();
+                        (shard, seq, frame)
                     })
-                    .encode();
-                    (shard, seq, frame)
-                })
-                .collect();
-            let partials =
-                self.run_barrier(transport, flushes, &mut redispatches, |msg| match msg {
-                    Message::Partial(p) => Ok((p.seq, p)),
-                    _ => Err(CoordError::Protocol("expected a partial TP-matrix")),
-                })?;
+                    .collect();
+                let partials = match self.run_barrier(
+                    transport,
+                    flushes,
+                    &mut redispatches,
+                    |msg| match msg {
+                        Message::Partial(p) => Ok((p.seq, p)),
+                        _ => Err(CoordError::Protocol("expected a partial TP-matrix")),
+                    },
+                )? {
+                    Barrier::Done(partials) => partials,
+                    Barrier::Dead { shards, missing } => {
+                        self.failover(
+                            transport, &mut alive, shards, missing, &mut failovers, &mut seq,
+                            k as u32, &mut redispatches,
+                        )?;
+                        plan = ShardPlan::new(n, alive.len(), &self.config.calibration);
+                        continue 'snapshot;
+                    }
+                };
 
-            let (perf, log) = merge_partials(n, k as u32, &partials)?;
+                let (perf, log) = merge_partials(n, k as u32, &partials)?;
+                break (perf, log, clock);
+            };
             overhead += clock - t;
             tp.push_masked(t, &perf, &log.observed_mask(), self.config.impute);
             logs.push(log);
@@ -224,6 +276,8 @@ impl Coordinator {
             probe_losses: total.losses,
             success_rate: total.success_rate(),
             redispatches,
+            failovers,
+            shards_alive: alive.len() as u64,
             wire: transport.stats(),
         };
         Ok(ShardedRun {
@@ -239,14 +293,16 @@ impl Coordinator {
     /// Send `tasks`, pump the wire until every one is answered, re-sending
     /// unanswered frames each time the wire drains, up to the dispatch
     /// budget. Returns the accepted responses in delivery order (callers
-    /// must only fold them order-independently).
+    /// must only fold them order-independently), or the shards still owing
+    /// responses when the budget runs out. Either way the wire is drained
+    /// on return — no stale frame can leak into a later barrier.
     fn run_barrier<T: Transport, R>(
         &self,
         transport: &mut T,
         tasks: Vec<(usize, u64, Vec<u8>)>,
         redispatches: &mut u64,
         mut accept: impl FnMut(Message) -> Result<(u64, R), CoordError>,
-    ) -> Result<Vec<R>, CoordError> {
+    ) -> Result<Barrier<R>, CoordError> {
         let mut pending: BTreeMap<u64, (usize, Vec<u8>)> = BTreeMap::new();
         for (shard, seq, frame) in tasks {
             transport.send(shard, frame.clone())?;
@@ -264,10 +320,14 @@ impl Coordinator {
                 }
             }
             if pending.is_empty() {
-                return Ok(out);
+                return Ok(Barrier::Done(out));
             }
             if sends >= self.config.dispatch_attempts {
-                return Err(CoordError::ShardLost {
+                let mut shards: Vec<usize> = pending.values().map(|&(s, _)| s).collect();
+                shards.sort_unstable();
+                shards.dedup();
+                return Ok(Barrier::Dead {
+                    shards,
                     missing: pending.len(),
                 });
             }
@@ -278,6 +338,71 @@ impl Coordinator {
             }
         }
     }
+
+    /// Handle a barrier's dead shards: spend one failover, drop them from
+    /// the alive set, and reset the survivors' snapshot state so the
+    /// caller can restart the snapshot. Loops if survivors die during the
+    /// reset barrier itself; errors with [`CoordError::ShardLost`] once
+    /// the failover budget (or the cluster) is exhausted.
+    #[allow(clippy::too_many_arguments)]
+    fn failover<T: Transport>(
+        &self,
+        transport: &mut T,
+        alive: &mut Vec<usize>,
+        mut dead: Vec<usize>,
+        mut missing: usize,
+        failovers: &mut u64,
+        seq: &mut u64,
+        snapshot: u32,
+        redispatches: &mut u64,
+    ) -> Result<(), CoordError> {
+        loop {
+            if *failovers >= u64::from(self.config.failover_attempts) {
+                return Err(CoordError::ShardLost { missing });
+            }
+            *failovers += 1;
+            alive.retain(|s| !dead.contains(s));
+            if alive.is_empty() {
+                return Err(CoordError::ShardLost { missing });
+            }
+            let resets: Vec<(usize, u64, Vec<u8>)> = alive
+                .iter()
+                .map(|&shard| {
+                    *seq += 1;
+                    let frame = Message::Reset(FlushRequest {
+                        seq: *seq,
+                        shard: shard as u32,
+                        snapshot,
+                    })
+                    .encode();
+                    (shard, *seq, frame)
+                })
+                .collect();
+            match self.run_barrier(transport, resets, redispatches, |msg| match msg {
+                Message::Ack(a) => Ok((a.seq, ())),
+                _ => Err(CoordError::Protocol("expected a reset ack")),
+            })? {
+                Barrier::Done(_) => return Ok(()),
+                Barrier::Dead { shards, missing: m } => {
+                    dead = shards;
+                    missing = m;
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of one dispatch barrier.
+enum Barrier<R> {
+    /// Every frame was answered; the responses, in delivery order.
+    Done(Vec<R>),
+    /// The dispatch budget ran out with frames still unanswered.
+    Dead {
+        /// Shards owing at least one response, sorted and deduplicated.
+        shards: Vec<usize>,
+        /// Frames still unanswered.
+        missing: usize,
+    },
 }
 
 /// Merge per-shard fragments into one snapshot's measurement matrix and

@@ -156,6 +156,12 @@ pub struct SimTransport<P> {
     heap: BinaryHeap<Reverse<(u64, u64, Vec<u8>)>>,
     wire_seq: u64,
     stats: WireStats,
+    /// Per-shard kill schedule: `Some(f)` means the shard answers its
+    /// first `f` frames and silently swallows everything after — the
+    /// wire-level model of a worker host dying mid-campaign.
+    kill_after: Vec<Option<u64>>,
+    /// Frames handed to each shard so far (kill accounting).
+    shard_sends: Vec<u64>,
 }
 
 impl<P: PureFallibleNetworkProbe + Clone> SimTransport<P> {
@@ -172,7 +178,18 @@ impl<P: PureFallibleNetworkProbe + Clone> SimTransport<P> {
             heap: BinaryHeap::new(),
             wire_seq: 0,
             stats: WireStats::default(),
+            kill_after: vec![None; shards],
+            shard_sends: vec![0; shards],
         }
+    }
+
+    /// Kill `shard` after it has been handed `frames` more frames: every
+    /// later frame to it is silently swallowed, exactly like a crashed
+    /// worker host. `frames` counts from the shard's current send total,
+    /// so `kill_after(s, 0)` kills it immediately.
+    pub fn kill_after(&mut self, shard: ShardId, frames: u64) {
+        assert!(shard < self.workers.len(), "unknown shard");
+        self.kill_after[shard] = Some(self.shard_sends[shard] + frames);
     }
 }
 
@@ -199,6 +216,15 @@ impl<P: PureFallibleNetworkProbe> Transport for SimTransport<P> {
         }
         self.stats.frames_sent += 1;
         self.stats.bytes_sent += frame.len() as u64;
+        // A killed shard swallows the frame before any wire roll — its
+        // host is gone, not merely lossy.
+        self.shard_sends[shard] += 1;
+        if let Some(limit) = self.kill_after[shard] {
+            if self.shard_sends[shard] > limit {
+                self.stats.frames_lost += 1;
+                return Ok(());
+            }
+        }
         // Request leg.
         self.wire_seq += 1;
         if self.lost(self.wire_seq) {

@@ -1,7 +1,7 @@
 //! Typed wire messages of the coordinator/worker protocol, carried in
 //! [`crate::codec`] frames.
 //!
-//! The protocol is deliberately small — four message shapes:
+//! The protocol is deliberately small — five message shapes:
 //!
 //! * [`ShardTask`] (coordinator → worker): probe one chunk of one
 //!   `(round, phase)` at an absolute start time, under a given
@@ -17,10 +17,15 @@
 //!   cells, per-cell [`ProbeOutcome`]s and aggregate probe counters for
 //!   one snapshot. Cells are disjoint across shards, so merging is
 //!   order-independent by construction.
+//! * [`Message::Reset`] (coordinator → worker): a shard died mid-snapshot
+//!   and the snapshot is being restarted across the survivors — discard
+//!   all accumulated state for it. Acknowledged with a [`PhaseAck`]
+//!   (`max_consumed` 0.0). Resets are idempotent: clearing an already
+//!   clean snapshot is a no-op, so re-dispatch needs no special casing.
 
 use crate::codec::{
     decode_frame, encode_frame, put_f64, put_u32, put_u64, CodecError, Reader, KIND_FLUSH_REQUEST,
-    KIND_PARTIAL_TP, KIND_PHASE_ACK, KIND_SHARD_TASK,
+    KIND_PARTIAL_TP, KIND_PHASE_ACK, KIND_RESET, KIND_SHARD_TASK,
 };
 use cloudconst_netmodel::{ProbeOutcome, RetryPolicy};
 
@@ -131,6 +136,10 @@ pub enum Message {
     Flush(FlushRequest),
     /// Worker → coordinator snapshot fragment.
     Partial(PartialTpMatrix),
+    /// Coordinator → worker snapshot-state reset (shard failover). Reuses
+    /// the [`FlushRequest`] shape: `snapshot` names the snapshot being
+    /// restarted.
+    Reset(FlushRequest),
 }
 
 fn put_retry(buf: &mut Vec<u8>, r: &RetryPolicy) {
@@ -184,6 +193,12 @@ impl Message {
                 put_u32(&mut p, fr.shard);
                 put_u32(&mut p, fr.snapshot);
                 encode_frame(KIND_FLUSH_REQUEST, &p)
+            }
+            Message::Reset(fr) => {
+                put_u64(&mut p, fr.seq);
+                put_u32(&mut p, fr.shard);
+                put_u32(&mut p, fr.snapshot);
+                encode_frame(KIND_RESET, &p)
             }
             Message::Partial(m) => {
                 put_u64(&mut p, m.seq);
@@ -257,6 +272,11 @@ impl Message {
                 max_consumed: r.f64()?,
             }),
             KIND_FLUSH_REQUEST => Message::Flush(FlushRequest {
+                seq: r.u64()?,
+                shard: r.u32()?,
+                snapshot: r.u32()?,
+            }),
+            KIND_RESET => Message::Reset(FlushRequest {
                 seq: r.u64()?,
                 shard: r.u32()?,
                 snapshot: r.u32()?,
@@ -352,6 +372,21 @@ mod tests {
             snapshot: 4,
         });
         assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn reset_roundtrip() {
+        let msg = Message::Reset(FlushRequest {
+            seq: 13,
+            shard: 2,
+            snapshot: 1,
+        });
+        assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+        // A reset must never decode as a flush (their payloads coincide).
+        assert!(!matches!(
+            Message::decode(&msg.encode()).unwrap(),
+            Message::Flush(_)
+        ));
     }
 
     #[test]

@@ -64,6 +64,7 @@ impl<P: PureFallibleNetworkProbe> ShardWorker<P> {
         match Message::decode(frame)? {
             Message::Task(t) => self.handle_task(t),
             Message::Flush(f) => self.handle_flush(f),
+            Message::Reset(f) => self.handle_reset(f),
             Message::Ack(_) | Message::Partial(_) => {
                 Err(CoordError::Protocol("worker received a coordinator-bound frame"))
             }
@@ -173,6 +174,29 @@ impl<P: PureFallibleNetworkProbe> ShardWorker<P> {
         Ok(ack)
     }
 
+    /// Shard failover: a peer died mid-snapshot and the coordinator is
+    /// restarting the snapshot across the survivors. Discard everything
+    /// accumulated for it — the restarted schedule re-derives every value
+    /// from scratch (each retry series is pure, so the re-execution is
+    /// bit-identical to a first execution). Clearing is idempotent, so a
+    /// re-dispatched duplicate that misses the response cache is harmless.
+    fn handle_reset(&mut self, f: FlushRequest) -> Result<Vec<u8>, CoordError> {
+        if let Some((_, cached)) = self.seen.get(&f.seq) {
+            return Ok(cached.clone());
+        }
+        self.small.clear();
+        self.cells.clear();
+        self.counters = [0; 5];
+        let ack = Message::Ack(PhaseAck {
+            seq: f.seq,
+            shard: self.shard as u32,
+            max_consumed: 0.0,
+        })
+        .encode();
+        self.seen.insert(f.seq, (f.snapshot, ack.clone()));
+        Ok(ack)
+    }
+
     fn handle_flush(&mut self, f: FlushRequest) -> Result<Vec<u8>, CoordError> {
         if let Some((_, cached)) = self.seen.get(&f.seq) {
             return Ok(cached.clone());
@@ -197,5 +221,75 @@ impl<P: PureFallibleNetworkProbe> ShardWorker<P> {
         self.counters = [0; 5];
         self.seen.insert(f.seq, (f.snapshot, partial.clone()));
         Ok(partial)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{FlushRequest, Message, Phase, ShardTask};
+    use cloudconst_netmodel::{FallibleNetworkProbe, ProbeAttempt, RetryPolicy};
+
+    /// Every probe takes a fixed time; 4 endpoints.
+    struct Fixed;
+    impl FallibleNetworkProbe for Fixed {
+        fn n(&self) -> usize {
+            4
+        }
+        fn try_probe(&mut self, i: usize, j: usize, b: u64, t: f64, d: f64) -> ProbeAttempt {
+            self.try_probe_pure(i, j, b, t, d)
+        }
+    }
+    impl PureFallibleNetworkProbe for Fixed {
+        fn try_probe_pure(&self, i: usize, j: usize, _b: u64, _t: f64, _d: f64) -> ProbeAttempt {
+            ProbeAttempt::Ok(if i == j { 0.0 } else { 0.25 })
+        }
+    }
+
+    fn task(seq: u64, phase: Phase) -> Vec<u8> {
+        Message::Task(ShardTask {
+            seq,
+            shard: 0,
+            snapshot: 0,
+            round: 0,
+            phase,
+            bytes: 64,
+            at: 0.0,
+            retry: RetryPolicy::default(),
+            pairs: vec![(0, 1)],
+        })
+        .encode()
+    }
+
+    #[test]
+    fn reset_discards_the_snapshot_in_progress() {
+        let mut w = ShardWorker::new(Fixed, 0);
+        w.handle(&task(1, Phase::Small)).unwrap();
+        w.handle(&task(2, Phase::Large)).unwrap();
+        // Leave a dangling small phase too — the aborted barrier's shape.
+        w.handle(&task(3, Phase::Small)).unwrap();
+
+        let reset = Message::Reset(FlushRequest { seq: 4, shard: 0, snapshot: 0 }).encode();
+        match Message::decode(&w.handle(&reset).unwrap()).unwrap() {
+            Message::Ack(a) => {
+                assert_eq!(a.seq, 4);
+                assert_eq!(a.max_consumed, 0.0);
+            }
+            other => panic!("reset must be acked, got {other:?}"),
+        }
+        // Re-dispatch of the reset returns the cached ack.
+        let again = w.handle(&reset).unwrap();
+        assert_eq!(Message::decode(&again).unwrap(), Message::decode(&w.handle(&reset).unwrap()).unwrap());
+
+        // A flush right after the reset ships an empty, zero-counter
+        // fragment — nothing of the aborted work survives.
+        let flush = Message::Flush(FlushRequest { seq: 5, shard: 0, snapshot: 0 }).encode();
+        match Message::decode(&w.handle(&flush).unwrap()).unwrap() {
+            Message::Partial(p) => {
+                assert!(p.cells.is_empty());
+                assert_eq!(p.attempts + p.successes + p.retries + p.timeouts + p.losses, 0);
+            }
+            other => panic!("flush must ship a partial, got {other:?}"),
+        }
     }
 }

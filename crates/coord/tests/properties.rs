@@ -113,3 +113,84 @@ proptest! {
 fn transport_lost_frames_reflected(frames_lost: &u64, redispatches: u64) -> bool {
     (redispatches == 0) || (*frames_lost > 0)
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn shard_death_failover_stays_bit_identical(
+        n in 8usize..=32,
+        k in 2usize..=6,
+        victim_sel in 0usize..6,
+        kill_frame in 0u64..2,
+        wire_seed in 0u64..1_000_000,
+    ) {
+        // Kill one shard after it has answered at most one frame: every
+        // shard sees at least two frames (one flush per snapshot), so the
+        // death always fires, at a schedule position that varies with
+        // (n, k, victim). The survivors must still merge a run that is
+        // bit-identical to the unsharded calibrator.
+        let victim = victim_sel % k;
+        let cloud = FaultyCloud::new(
+            SyntheticCloud::new(CloudConfig::small_test(n, 11)),
+            FaultPlan::uniform(23, 0.02),
+        );
+        let unsharded = Calibrator::new().calibrate_tp_faulty_par(
+            &cloud, 0.0, 60.0, 2, &RetryPolicy::default(), ImputePolicy::LastGood,
+        );
+        let mut transport = SimTransport::new(
+            cloud.clone(),
+            k,
+            SimConfig { seed: wire_seed, loss_prob: 0.0, latency: (0.001, 0.050) },
+        );
+        transport.kill_after(victim, kill_frame);
+        let mut config = CoordinatorConfig::new(k);
+        config.dispatch_attempts = 3;
+        config.failover_attempts = 2;
+        let sharded = Coordinator::new(config)
+            .calibrate_tp(&mut transport, 0.0, 60.0, 2)
+            .expect("the survivors can always finish the campaign");
+
+        assert_runs_bit_identical(&sharded.run, &unsharded);
+        prop_assert!(sharded.report.failovers >= 1, "the kill must have fired");
+        prop_assert_eq!(sharded.report.shards_alive as usize, k - 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    #[test]
+    fn rack_blackout_replay_is_deterministic_across_shardings(
+        n in 8usize..=24,
+        fault_seed in 0u64..1_000_000,
+        wire_seed in 0u64..1_000_000,
+    ) {
+        // Correlated rack-blackout campaigns replay bit-for-bit: the same
+        // fault seed yields the identical FaultyTpRun on a re-run and
+        // under any shard count, because every domain event is a pure
+        // hash of (seed, stream, domain, window).
+        let base = SyntheticCloud::new(CloudConfig::small_test(n, 7));
+        let plan = FaultPlan::rack_blackouts(fault_seed, base.placement(0), 0.2, 60.0);
+        let cloud = FaultyCloud::new(base, plan);
+        let retry = RetryPolicy::default();
+
+        let reference = Calibrator::new().calibrate_tp_faulty_par(
+            &cloud, 0.0, 60.0, 2, &retry, ImputePolicy::LastGood,
+        );
+        let replay = Calibrator::new().calibrate_tp_faulty_par(
+            &cloud, 0.0, 60.0, 2, &retry, ImputePolicy::LastGood,
+        );
+        assert_runs_bit_identical(&replay, &reference);
+
+        for k in [1usize, 2, 4] {
+            let mut transport = SimTransport::new(
+                cloud.clone(),
+                k,
+                SimConfig { seed: wire_seed, loss_prob: 0.0, latency: (0.001, 0.050) },
+            );
+            let sharded = Coordinator::new(CoordinatorConfig::new(k))
+                .calibrate_tp(&mut transport, 0.0, 60.0, 2)
+                .expect("loss-free campaign cannot abort");
+            assert_runs_bit_identical(&sharded.run, &reference);
+        }
+    }
+}

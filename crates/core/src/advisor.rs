@@ -34,6 +34,19 @@ pub struct AdvisorConfig {
     /// every calibration path; the default `Fail` reproduces the historic
     /// strict behaviour exactly).
     pub degraded: DegradedPolicy,
+    /// Adapt the degraded policy from campaign history: when the recent
+    /// half of the retained health reports shows a mean probe success
+    /// rate more than [`AdvisorConfig::degraded_trend_drop`] below the
+    /// older half's, the advisor overrides `degraded` with
+    /// [`DegradedPolicy::FallBackToPrevious`] for the next install —
+    /// a decaying network is exactly when a non-converged solve should
+    /// not evict a known-good model. The override lifts by itself once
+    /// the trend heals. Off by default (the configured policy always
+    /// applies).
+    pub adaptive_degraded: bool,
+    /// Success-rate drop (older-half mean minus recent-half mean of the
+    /// campaign history) beyond which the adaptive override engages.
+    pub degraded_trend_drop: f64,
     /// Quarantine a link after this many *consecutive snapshots* in which
     /// every probe of the link failed. Quarantined links no longer trigger
     /// maintenance re-calibration (see [`Advisor::check_link`]); a single
@@ -60,6 +73,8 @@ impl Default for AdvisorConfig {
             retry: RetryPolicy::default(),
             impute: ImputePolicy::LastGood,
             degraded: DegradedPolicy::Fail,
+            adaptive_degraded: false,
+            degraded_trend_drop: 0.02,
             quarantine_after: 3,
             history_capacity: 32,
             rpca: ApgOptions::default(),
@@ -151,6 +166,22 @@ impl CampaignHistory {
     /// The most recent campaign's report.
     pub fn latest(&self) -> Option<&HealthReport> {
         self.reports.last()
+    }
+
+    /// Mean probe success rate of the older and recent halves of the
+    /// window `(older, recent)` — the trend signal behind the advisor's
+    /// adaptive degraded policy. `None` below four reports: two points
+    /// per half is the minimum for a trend that is not a single noisy
+    /// campaign.
+    pub fn success_trend(&self) -> Option<(f64, f64)> {
+        if self.reports.len() < 4 {
+            return None;
+        }
+        let mid = self.reports.len() / 2;
+        let mean = |rs: &[HealthReport]| {
+            rs.iter().map(|r| r.probe_success_rate).sum::<f64>() / rs.len() as f64
+        };
+        Some((mean(&self.reports[..mid]), mean(&self.reports[mid..])))
     }
 
     /// Aggregate view of the retained window — what an operator dashboard
@@ -423,9 +454,27 @@ impl Advisor {
         self.quarantined.sort_unstable();
     }
 
+    /// The degraded policy in force for the *next* model install: the
+    /// configured [`AdvisorConfig::degraded`], unless
+    /// [`AdvisorConfig::adaptive_degraded`] is set and the campaign
+    /// history's probe success rate is decaying, in which case the
+    /// advisor protects the current model with
+    /// [`DegradedPolicy::FallBackToPrevious`] until the trend heals.
+    pub fn effective_degraded(&self) -> DegradedPolicy {
+        if self.cfg.adaptive_degraded {
+            if let Some((older, recent)) = self.history.success_trend() {
+                if older - recent > self.cfg.degraded_trend_drop {
+                    return DegradedPolicy::FallBackToPrevious;
+                }
+            }
+        }
+        self.cfg.degraded
+    }
+
     fn install_model(&mut self, tp: TpMatrix, overhead: f64, now: f64) -> Result<&ModelState> {
         self.fell_back = false;
-        match estimate_with_opts(&tp, self.cfg.estimator, self.cfg.degraded, &self.cfg.rpca) {
+        let degraded = self.effective_degraded();
+        match estimate_with_opts(&tp, self.cfg.estimator, degraded, &self.cfg.rpca) {
             Ok(est) => {
                 self.calibrations += 1;
                 self.model = Some(ModelState {
@@ -436,7 +485,7 @@ impl Advisor {
                 });
             }
             Err(CoreError::Rpca(RpcaError::NoConvergence { .. }))
-                if self.cfg.degraded == DegradedPolicy::FallBackToPrevious
+                if degraded == DegradedPolicy::FallBackToPrevious
                     && self.model.is_some() =>
             {
                 // Keep the previous model rather than installing a
@@ -916,6 +965,55 @@ mod tests {
             s.mean_success_rate,
             advisor.campaign_history().latest().unwrap().probe_success_rate
         );
+    }
+
+    #[test]
+    fn adaptive_degraded_falls_back_on_decaying_health_and_recovers() {
+        let cloud = SyntheticCloud::new(CloudConfig::small_test(10, 13));
+        let clean = FaultyCloud::new(cloud.clone(), FaultPlan::none(3));
+        let lossy = FaultyCloud::new(cloud, FaultPlan::uniform(3, 0.05));
+        let mut advisor = Advisor::new(AdvisorConfig {
+            adaptive_degraded: true,
+            ..quick_cfg()
+        });
+        let full_iters = advisor.config().rpca.max_iters;
+
+        // Healthy epoch: the configured strict policy stays in force.
+        for k in 0..2 {
+            advisor.calibrate_faulty_par(&clean, f64::from(k) * 1000.0).unwrap();
+        }
+        assert_eq!(advisor.effective_degraded(), DegradedPolicy::Fail);
+
+        // Decay epoch: lossy campaigns drag the recent half of the
+        // history below the older half — the override engages.
+        for k in 2..4 {
+            advisor.calibrate_faulty_par(&lossy, f64::from(k) * 1000.0).unwrap();
+        }
+        let (older, recent) = advisor.campaign_history().success_trend().unwrap();
+        assert!(older > recent, "fixture: faults must dent the trend");
+        assert_eq!(
+            advisor.effective_degraded(),
+            DegradedPolicy::FallBackToPrevious
+        );
+
+        // A starved solver during the decay keeps the previous model
+        // instead of erroring — the whole point of the override.
+        advisor.config_mut().rpca.max_iters = 10;
+        advisor.calibrate_faulty_par(&lossy, 4000.0).unwrap();
+        let h = advisor.health(4000.0).unwrap();
+        assert!(h.degraded, "fall-back install must be reported");
+        assert_eq!(advisor.model().unwrap().calibrated_at, 3000.0);
+
+        // Heal epoch: clean campaigns restore the trend and the override
+        // lifts by itself.
+        advisor.config_mut().rpca.max_iters = full_iters;
+        let mut t = 5000.0;
+        while advisor.effective_degraded() != DegradedPolicy::Fail {
+            advisor.calibrate_faulty_par(&clean, t).unwrap();
+            t += 1000.0;
+            assert!(t < 20_000.0, "trend never healed");
+        }
+        assert!(!advisor.health(t).unwrap().degraded);
     }
 
     #[test]

@@ -13,8 +13,8 @@
 
 use crate::alpha_beta::LinkPerf;
 use crate::fallible::{
-    run_attempt_series, AttemptSeries, FallibleNetworkProbe, ProbeLog, ProbeOutcome,
-    PureFallibleNetworkProbe, RetryPolicy,
+    run_attempt_series, AdaptiveRetryPolicy, AttemptSeries, FallibleNetworkProbe, ProbeLog,
+    ProbeOutcome, PureFallibleNetworkProbe, RetryPlan, RetryPolicy,
 };
 use crate::perf_matrix::PerfMatrix;
 use crate::tp_matrix::{ImputePolicy, TpMatrix};
@@ -299,6 +299,64 @@ impl Calibrator {
                     })
                     .collect()
             }
+        })
+    }
+
+    /// One snapshot under a per-link [`RetryPlan`]: like
+    /// [`Calibrator::calibrate_faulty_par`], but each directed link runs
+    /// the attempt cap the plan granted it. The plan is fixed before the
+    /// snapshot starts, so every attempt series stays a pure function of
+    /// `(pair, bytes, time)` and the parallel fan-out is deterministic.
+    pub fn calibrate_faulty_planned_par<P: PureFallibleNetworkProbe>(
+        &self,
+        probe: &P,
+        now: f64,
+        plan: &RetryPlan,
+    ) -> CalibrationRun {
+        let n = probe.n();
+        self.drive_faulty(n, now, |pairs, bytes, at| {
+            let series = |k: usize| {
+                let (i, j) = pairs[k];
+                let retry = plan.policy_for(i, j);
+                run_attempt_series(
+                    |t| probe.try_probe_pure(i, j, bytes, t, retry.deadline),
+                    at,
+                    &retry,
+                )
+            };
+            if pairs.len() >= PAR_MIN_PAIRS {
+                (0..pairs.len()).into_par_iter().map(series).collect()
+            } else {
+                (0..pairs.len()).map(series).collect()
+            }
+        })
+    }
+
+    /// The adaptive recovery loop over a whole campaign: each snapshot's
+    /// retry budget is planned by `adaptive` from the worst-wins merge of
+    /// every earlier snapshot's probe log, so extra attempts concentrate
+    /// on the links that have actually been failing while clean links run
+    /// the lean cold schedule. The first snapshot has no history and runs
+    /// all-cold.
+    pub fn calibrate_tp_faulty_adaptive_par<P: PureFallibleNetworkProbe>(
+        &self,
+        probe: &P,
+        start: f64,
+        interval: f64,
+        steps: usize,
+        adaptive: &AdaptiveRetryPolicy,
+        impute: ImputePolicy,
+    ) -> FaultyTpRun {
+        let n = probe.n();
+        let mut history: Option<ProbeLog> = None;
+        self.drive_tp_faulty(start, interval, steps, impute, |t| {
+            let plan = adaptive.plan(n, history.as_ref(), &[]);
+            let run = self.calibrate_faulty_planned_par(probe, t, &plan);
+            match &mut history {
+                Some(h) => h.absorb(&run.outcomes),
+                None => history = Some(run.outcomes.clone()),
+            }
+            run
         })
     }
 
@@ -827,6 +885,69 @@ mod tests {
         let agg = run.aggregate_log();
         assert!(agg.losses >= 4 * RetryPolicy::default().max_attempts as u64);
         assert!(agg.success_rate() < 1.0);
+    }
+
+    #[test]
+    fn adaptive_campaign_upgrades_failing_links_over_time() {
+        // (0,1) is permanently dead. Snapshot 0 runs all-cold (no
+        // history); every later snapshot must grant the dead link the hot
+        // attempt cap while clean links stay cold.
+        let probe = FlakyProbe {
+            truth: truth6(),
+            dead: vec![(0, 1)],
+            flaky_until: f64::NEG_INFINITY,
+        };
+        let adaptive = AdaptiveRetryPolicy::default(); // cold 2, hot 4
+        let run = Calibrator::new().calibrate_tp_faulty_adaptive_par(
+            &probe,
+            0.0,
+            500.0,
+            3,
+            &adaptive,
+            ImputePolicy::LastGood,
+        );
+        assert_eq!(run.logs.len(), 3);
+        assert_eq!(
+            run.logs[0].outcome(0, 1),
+            ProbeOutcome::Failed(adaptive.cold_attempts),
+            "first snapshot has no history to react to"
+        );
+        for k in 1..3 {
+            assert_eq!(
+                run.logs[k].outcome(0, 1),
+                ProbeOutcome::Failed(adaptive.hot_attempts),
+                "snapshot {k} should spend its budget on the dead link"
+            );
+            // A clean link never earns extra attempts.
+            assert_eq!(run.logs[k].outcome(1, 0), ProbeOutcome::Ok(1));
+        }
+        // The dead cell stays masked throughout.
+        for k in 0..3 {
+            assert!(!run.tp.observed(k, 0, 1));
+        }
+    }
+
+    #[test]
+    fn planned_calibration_matches_fixed_policy_when_uniform() {
+        // A plan that grants every link the same cap must reproduce the
+        // fixed-policy path bit for bit.
+        let probe = FlakyProbe {
+            truth: truth6(),
+            dead: vec![(2, 4)],
+            flaky_until: 1.0,
+        };
+        let fixed = RetryPolicy::default();
+        let adaptive = AdaptiveRetryPolicy {
+            base: fixed.clone(),
+            cold_attempts: fixed.max_attempts,
+            hot_attempts: fixed.max_attempts,
+            budget: 0,
+        };
+        let plan = adaptive.plan(6, None, &[]);
+        let a = Calibrator::new().calibrate_faulty_planned_par(&probe, 7.0, &plan);
+        let b = Calibrator::new().calibrate_faulty_par(&probe, 7.0, &fixed);
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.overhead.to_bits(), b.overhead.to_bits());
     }
 
     #[test]

@@ -289,12 +289,168 @@ impl ProbeLog {
 
     /// Fold another calibration's counters into this one (grid outcomes are
     /// kept per-snapshot by callers; only the aggregates accumulate).
+    ///
+    /// When merging *partial* logs that cover disjoint cells of the same
+    /// snapshot (shard fragments), use [`ProbeLog::absorb`] instead: this
+    /// method drops the other log's grid, so a link that ended
+    /// [`ProbeOutcome::Failed`] in one partial would silently read
+    /// [`ProbeOutcome::Unprobed`] after the merge — and a quarantine
+    /// decision based on the merged log would wrongly lift.
     pub fn absorb_counters(&mut self, other: &ProbeLog) {
         self.attempts += other.attempts;
         self.successes += other.successes;
         self.retries += other.retries;
         self.timeouts += other.timeouts;
         self.losses += other.losses;
+    }
+
+    /// Fold a partial log covering the same snapshot into this one:
+    /// counters accumulate *and* grid outcomes merge cell-wise,
+    /// worst-wins — `Failed` beats `Ok` beats `Unprobed`, attempts take the
+    /// max. A link quarantined from one shard's partial stays failed in
+    /// the merged log no matter the merge order.
+    ///
+    /// Panics if the cluster sizes differ.
+    pub fn absorb(&mut self, other: &ProbeLog) {
+        assert_eq!(self.n, other.n, "cannot merge logs of different sizes");
+        self.absorb_counters(other);
+        for (mine, theirs) in self.outcomes.iter_mut().zip(&other.outcomes) {
+            *mine = merge_outcome(*mine, *theirs);
+        }
+    }
+}
+
+/// Worst-wins cell merge used by [`ProbeLog::absorb`].
+fn merge_outcome(a: ProbeOutcome, b: ProbeOutcome) -> ProbeOutcome {
+    use ProbeOutcome::*;
+    match (a, b) {
+        (Unprobed, x) | (x, Unprobed) => x,
+        (Failed(x), Failed(y)) => Failed(x.max(y)),
+        (Failed(x), Ok(y)) | (Ok(y), Failed(x)) => Failed(x.max(y)),
+        (Ok(x), Ok(y)) => Ok(x.max(y)),
+    }
+}
+
+/// History-driven retry budgeting: a bounded pool of extra attempts is
+/// spent preferentially on the links whose probe history shows failures,
+/// while clean links run a leaner schedule than the fixed [`RetryPolicy`].
+///
+/// The allocation happens *before* a calibration starts (see
+/// [`AdaptiveRetryPolicy::plan`]), so every (pair, phase) still runs a
+/// fixed per-link policy — attempt series stay pure functions of
+/// `(pair, bytes, time)` and the parallel path stays bit-identical to the
+/// serial one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveRetryPolicy {
+    /// Deadline and backoff shape every attempt runs under.
+    pub base: RetryPolicy,
+    /// Attempts granted to links with a clean history (≥ 1).
+    pub cold_attempts: u32,
+    /// Attempts granted to links whose history shows failures
+    /// (≥ `cold_attempts`).
+    pub hot_attempts: u32,
+    /// Global budget of extra attempts per calibration. Upgrading one
+    /// directed link from cold to hot costs
+    /// `2 · (hot_attempts − cold_attempts)` budget units (both probe
+    /// phases may spend the extra attempts); worst-history links are
+    /// upgraded first until the budget runs out.
+    pub budget: u64,
+}
+
+impl Default for AdaptiveRetryPolicy {
+    fn default() -> Self {
+        let base = RetryPolicy::default();
+        AdaptiveRetryPolicy {
+            base,
+            cold_attempts: 2,
+            hot_attempts: 4,
+            budget: 64,
+        }
+    }
+}
+
+impl AdaptiveRetryPolicy {
+    /// Allocate per-link attempt counts for an `n`-instance calibration.
+    ///
+    /// A directed link is *hot* when `history` recorded a `Failed` outcome
+    /// or a retried success for it, or when it appears in `quarantined`.
+    /// Hot links are ranked worst-first (quarantine beats `Failed` beats
+    /// retried-`Ok`, ties broken by `(i, j)` order) and upgraded to
+    /// `hot_attempts` while the budget lasts; everything else gets
+    /// `cold_attempts`.
+    pub fn plan(
+        &self,
+        n: usize,
+        history: Option<&ProbeLog>,
+        quarantined: &[(usize, usize)],
+    ) -> RetryPlan {
+        let cold = self.cold_attempts.max(1);
+        let hot = self.hot_attempts.max(cold);
+        let mut max_attempts = vec![cold; n * n];
+        let upgrade_cost = 2 * (hot - cold) as u64;
+        if upgrade_cost > 0 {
+            // Score every directed link from the history grid.
+            let mut scored: Vec<(u64, usize, usize)> = Vec::new();
+            for i in 0..n {
+                for j in 0..n {
+                    if i == j {
+                        continue;
+                    }
+                    let mut score = match history.filter(|h| h.n() == n).map(|h| h.outcome(i, j))
+                    {
+                        Some(ProbeOutcome::Failed(a)) => 1_000 + a as u64,
+                        Some(ProbeOutcome::Ok(a)) if a > 1 => a as u64,
+                        _ => 0,
+                    };
+                    if quarantined.contains(&(i, j)) {
+                        score += 1_000_000;
+                    }
+                    if score > 0 {
+                        scored.push((score, i, j));
+                    }
+                }
+            }
+            scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+            let mut budget = self.budget;
+            for (_, i, j) in scored {
+                if budget < upgrade_cost {
+                    break;
+                }
+                budget -= upgrade_cost;
+                max_attempts[i * n + j] = hot;
+            }
+        }
+        RetryPlan {
+            n,
+            base: self.base.clone(),
+            cold,
+            max_attempts,
+        }
+    }
+}
+
+/// Per-link retry allocation produced by [`AdaptiveRetryPolicy::plan`]:
+/// the base deadline/backoff shape plus a per-directed-link attempt cap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPlan {
+    n: usize,
+    base: RetryPolicy,
+    cold: u32,
+    max_attempts: Vec<u32>,
+}
+
+impl RetryPlan {
+    /// The concrete policy link `(i, j)` runs under.
+    pub fn policy_for(&self, i: usize, j: usize) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: self.max_attempts[i * self.n + j],
+            ..self.base.clone()
+        }
+    }
+
+    /// Number of directed links granted more than the cold attempt count.
+    pub fn hot_links(&self) -> usize {
+        self.max_attempts.iter().filter(|&&a| a > self.cold).count()
     }
 }
 
@@ -393,6 +549,104 @@ mod tests {
         assert_eq!(a.retries, 2);
         assert_eq!(a.timeouts, 1);
         assert_eq!(a.losses, 1);
+    }
+
+    #[test]
+    fn absorb_merges_outcome_grids_worst_wins() {
+        // Two shard partials of one snapshot: shard A saw (0,1) fail every
+        // attempt, shard B measured its own disjoint cells.
+        let mut a = ProbeLog::new(3);
+        a.set_outcome(0, 1, ProbeOutcome::Failed(3));
+        a.attempts = 4;
+        a.losses = 3;
+        a.successes = 1;
+        let mut b = ProbeLog::new(3);
+        b.set_outcome(1, 0, ProbeOutcome::Ok(2));
+        b.set_outcome(2, 0, ProbeOutcome::Ok(1));
+        b.attempts = 5;
+        b.retries = 1;
+        b.successes = 4;
+
+        let mut merged = a.clone();
+        merged.absorb(&b);
+        // The failure survives the merge — this is the quarantine contract.
+        assert_eq!(merged.outcome(0, 1), ProbeOutcome::Failed(3));
+        assert_eq!(merged.outcome(1, 0), ProbeOutcome::Ok(2));
+        assert_eq!(merged.outcome(2, 0), ProbeOutcome::Ok(1));
+        assert_eq!(merged.attempts, 9);
+        assert_eq!(merged.successes, 5);
+        assert_eq!(merged.retries, 1);
+        assert_eq!(merged.losses, 3);
+
+        // Merge order does not matter.
+        let mut flipped = b.clone();
+        flipped.absorb(&a);
+        assert_eq!(flipped, merged);
+
+        // Failed beats Ok even when both shards touched the cell.
+        let mut c = ProbeLog::new(3);
+        c.set_outcome(0, 1, ProbeOutcome::Ok(1));
+        c.absorb(&a);
+        assert_eq!(c.outcome(0, 1), ProbeOutcome::Failed(3));
+    }
+
+    #[test]
+    fn adaptive_plan_spends_budget_on_failure_history() {
+        let mut history = ProbeLog::new(4);
+        history.set_outcome(0, 1, ProbeOutcome::Failed(3));
+        history.set_outcome(2, 3, ProbeOutcome::Ok(2)); // retried success
+        history.set_outcome(1, 0, ProbeOutcome::Ok(1)); // clean
+
+        let adaptive = AdaptiveRetryPolicy::default(); // cold 2, hot 4
+        let plan = adaptive.plan(4, Some(&history), &[]);
+        assert_eq!(plan.policy_for(0, 1).max_attempts, 4, "failed link is hot");
+        assert_eq!(plan.policy_for(2, 3).max_attempts, 4, "retried link is hot");
+        assert_eq!(plan.policy_for(1, 0).max_attempts, 2, "clean link is cold");
+        assert_eq!(plan.policy_for(3, 2).max_attempts, 2, "unseen link is cold");
+        assert_eq!(plan.hot_links(), 2);
+        // Shape (deadline/backoff) comes from the base policy.
+        assert_eq!(plan.policy_for(0, 1).deadline, adaptive.base.deadline);
+    }
+
+    #[test]
+    fn adaptive_plan_budget_is_a_hard_cap() {
+        let mut history = ProbeLog::new(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    history.set_outcome(i, j, ProbeOutcome::Failed(3));
+                }
+            }
+        }
+        // Upgrades cost 2·(4−2) = 4 units; a budget of 10 affords 2 links.
+        let adaptive = AdaptiveRetryPolicy {
+            budget: 10,
+            ..AdaptiveRetryPolicy::default()
+        };
+        let plan = adaptive.plan(4, Some(&history), &[]);
+        assert_eq!(plan.hot_links(), 2);
+    }
+
+    #[test]
+    fn adaptive_plan_ranks_quarantined_links_first() {
+        let mut history = ProbeLog::new(3);
+        history.set_outcome(0, 1, ProbeOutcome::Failed(3));
+        let adaptive = AdaptiveRetryPolicy {
+            budget: 4, // exactly one upgrade
+            ..AdaptiveRetryPolicy::default()
+        };
+        // The quarantined link outranks the merely-failed one.
+        let plan = adaptive.plan(3, Some(&history), &[(2, 0)]);
+        assert_eq!(plan.policy_for(2, 0).max_attempts, 4);
+        assert_eq!(plan.policy_for(0, 1).max_attempts, 2);
+        assert_eq!(plan.hot_links(), 1);
+    }
+
+    #[test]
+    fn adaptive_plan_without_history_is_all_cold() {
+        let plan = AdaptiveRetryPolicy::default().plan(5, None, &[]);
+        assert_eq!(plan.hot_links(), 0);
+        assert_eq!(plan.policy_for(0, 4).max_attempts, 2);
     }
 
     #[test]

@@ -35,8 +35,8 @@ pub use calibrate::{
 };
 pub use coords::{triangle_violation_rate, vivaldi, VivaldiConfig, VivaldiModel};
 pub use fallible::{
-    run_attempt_series, AttemptSeries, FallibleNetworkProbe, ProbeAttempt, ProbeLog, ProbeOutcome,
-    PureFallibleNetworkProbe, RetryPolicy,
+    run_attempt_series, AdaptiveRetryPolicy, AttemptSeries, FallibleNetworkProbe, ProbeAttempt,
+    ProbeLog, ProbeOutcome, PureFallibleNetworkProbe, RetryPlan, RetryPolicy,
 };
 pub use perf_matrix::PerfMatrix;
 pub use tp_matrix::{ImputePolicy, TpMatrix};

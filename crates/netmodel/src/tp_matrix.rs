@@ -20,6 +20,13 @@ pub enum ImputePolicy {
     /// crude (it mixes distance classes) but usable for a first snapshot
     /// with no history.
     SnapshotMedian,
+    /// The current rank-one constant prediction: a rank-1 RPCA
+    /// (`cloudconst_rpca::rank1_rpca`) over the history rows of the same
+    /// plane yields `N_D`, and the masked cell is filled with its predicted
+    /// constant — the paper's own model, pointed back at its input. Falls
+    /// back to the snapshot median when there is no history yet. Imputed
+    /// cells stay masked, so `Norm(N_E)` accounting still excludes them.
+    ModelPrediction,
 }
 
 /// The temporal performance matrix `N_A[T₀, T₁]`.
@@ -127,6 +134,18 @@ impl TpMatrix {
             Which::Alpha => &self.alpha,
             Which::InvBeta => &self.inv_beta,
         };
+        // The rank-one constant of the history plane, solved once per push
+        // and only when ModelPrediction actually has cells to fill.
+        let model: Option<Vec<f64>> = match impute {
+            ImputePolicy::ModelPrediction
+                if self.steps() > 0
+                    && (0..n * n).any(|k| !observed[k] && k / n != k % n) =>
+            {
+                let opts = cloudconst_rpca::Rank1Options::default();
+                Some(cloudconst_rpca::rank1_rpca(hist, &opts).constant)
+            }
+            _ => None,
+        };
         for k in 0..n * n {
             if observed[k] || k / n == k % n {
                 continue;
@@ -142,6 +161,11 @@ impl TpMatrix {
                         .map(|s| hist[(s, k)])
                         .unwrap_or(median)
                 }
+                ImputePolicy::ModelPrediction => model
+                    .as_ref()
+                    .map(|c| c[k])
+                    .filter(|v| v.is_finite() && *v > 0.0)
+                    .unwrap_or(median),
             };
         }
     }
@@ -310,6 +334,53 @@ mod tests {
         assert_eq!(pre.times(), &[0.0, 1.0, 2.0]);
         // Oversized prefix is the whole matrix.
         assert_eq!(tp.prefix(99).steps(), 5);
+    }
+
+    #[test]
+    fn model_prediction_fills_from_rank_one_constant() {
+        // Three identical clean snapshots: the rank-one constant of each
+        // column is exactly the historical cell value.
+        let truth = pm(3, 1.0);
+        let mut tp = TpMatrix::new(3);
+        for k in 0..3 {
+            tp.push(k as f64 * 10.0, &truth);
+        }
+        // Mask link (0, 2) — row-major cell 2 — in the fourth snapshot.
+        let masked = 2;
+        let mut observed = vec![true; 9];
+        observed[masked] = false;
+        tp.push_masked(30.0, &truth, &observed, ImputePolicy::ModelPrediction);
+
+        let want_alpha = tp.alpha_matrix()[(0, masked)];
+        let got_alpha = tp.alpha_matrix()[(3, masked)];
+        assert!(
+            (got_alpha - want_alpha).abs() / want_alpha < 1e-6,
+            "model fill {got_alpha} should match the constant {want_alpha}"
+        );
+        let want_ib = tp.inv_beta_matrix()[(0, masked)];
+        let got_ib = tp.inv_beta_matrix()[(3, masked)];
+        assert!((got_ib - want_ib).abs() / want_ib < 1e-6);
+        // Imputed cell stays masked for Norm(N_E) accounting.
+        assert_eq!(tp.mask[(3, masked)], 0.0);
+    }
+
+    #[test]
+    fn model_prediction_falls_back_to_median_without_history() {
+        let truth = pm(3, 1.0);
+        // Link (1, 0) — row-major cell 3.
+        let masked = 3;
+        let mut observed = vec![true; 9];
+        observed[masked] = false;
+
+        let mut with_model = TpMatrix::new(3);
+        with_model.push_masked(0.0, &truth, &observed, ImputePolicy::ModelPrediction);
+        let mut with_median = TpMatrix::new(3);
+        with_median.push_masked(0.0, &truth, &observed, ImputePolicy::SnapshotMedian);
+        assert_eq!(
+            with_model.alpha_matrix()[(0, masked)],
+            with_median.alpha_matrix()[(0, masked)],
+            "no history: ModelPrediction must degrade to the snapshot median"
+        );
     }
 
     #[test]

@@ -7,10 +7,12 @@
 //! within a bounded relative error of ground truth while the
 //! [`HealthReport`] tells the truth about how the model was obtained.
 
-use cloudconst::cloud::{CloudConfig, FaultPlan, FaultyCloud, SyntheticCloud};
+use cloudconst::cloud::{CloudConfig, FaultPlan, FaultyCloud, FlakyLink, SyntheticCloud};
 use cloudconst::collectives::fnf_tree;
 use cloudconst::core::{Advisor, AdvisorConfig, DegradedPolicy, MaintenanceDecision};
-use cloudconst::netmodel::{RetryPolicy, BETA_PROBE_BYTES};
+use cloudconst::netmodel::{
+    AdaptiveRetryPolicy, Calibrator, FaultyTpRun, ImputePolicy, RetryPolicy, BETA_PROBE_BYTES,
+};
 
 /// A deadline that honest probes never hit, so every deviation from the
 /// infallible path is the fault plan's doing and a 0% plan changes nothing.
@@ -163,6 +165,141 @@ fn fault_sweep_keeps_constant_error_bounded_and_health_truthful() {
             MaintenanceDecision::Recalibrate
         );
     }
+}
+
+/// Correlated rack blackouts — every link touching the dark rack fails
+/// at once for a whole snapshot — and the masked RPCA still recovers the
+/// constant within the same bound as the uncorrelated sweep, while the
+/// health report stays truthful about what was imputed.
+#[test]
+fn rack_blackout_campaign_recovers_constant_with_truthful_health() {
+    let n = 12;
+    let cloud = SyntheticCloud::new(CloudConfig::ec2_like(n, 31));
+    // Window = snapshot interval: each snapshot rolls its own blackout,
+    // at most one rack dark at a time (the builder's concurrency cap).
+    let plan = FaultPlan::rack_blackouts(11, cloud.placement(0), 0.35, 1800.0);
+    let faulty = FaultyCloud::new(cloud.clone(), plan);
+    let mut advisor = Advisor::new(AdvisorConfig {
+        impute: ImputePolicy::ModelPrediction,
+        ..AdvisorConfig::default()
+    });
+    advisor.calibrate_faulty_par(&faulty, 0.0).unwrap();
+
+    let err = mean_rel_error(&advisor, &cloud);
+    assert!(
+        err <= 0.10,
+        "rack blackouts: constant relative error {err} out of bounds"
+    );
+    let tree = fnf_tree(0, &advisor.constant().unwrap().weights(BETA_PROBE_BYTES));
+    assert!(tree.is_spanning());
+
+    // Truthful accounting: the blacked-out snapshots must show up as
+    // masked cells and lost probes, and a clean campaign's numbers must
+    // not be claimed.
+    let h = advisor.health(0.0).unwrap();
+    assert!(
+        h.masked_fraction > 0.0,
+        "rack blackouts fired but nothing was reported masked"
+    );
+    assert!(h.masked_fraction < 0.5);
+    assert!(h.losses > 0, "blackout probes must be counted as losses");
+    assert!(h.probe_success_rate < 1.0);
+    assert!(!h.degraded, "a converged solve must not be called degraded");
+}
+
+/// Satellite of the blackout path: a starved solver under
+/// `AcceptNearTolerance`, `ModelPrediction` imputation and a masked
+/// fraction beyond 10% still yields a usable, honestly-flagged model.
+#[test]
+fn starved_solver_with_model_imputation_survives_heavy_masking() {
+    let n = 12;
+    let cloud = SyntheticCloud::new(CloudConfig::ec2_like(n, 31));
+    // One blackout roll per snapshot window: with this topology's few
+    // racks a single dark rack masks most of a snapshot's links, so even
+    // a moderate per-window probability pushes the campaign-wide masked
+    // fraction far past 10%.
+    let plan = FaultPlan::rack_blackouts(13, cloud.placement(0), 0.35, 1800.0);
+    let faulty = FaultyCloud::new(cloud.clone(), plan);
+    let mut advisor = Advisor::new(AdvisorConfig {
+        impute: ImputePolicy::ModelPrediction,
+        degraded: DegradedPolicy::AcceptNearTolerance(0.05),
+        ..AdvisorConfig::default()
+    });
+    advisor.config_mut().rpca.max_iters = 40;
+    advisor.calibrate_faulty_par(&faulty, 0.0).unwrap();
+
+    let h = advisor.health(0.0).unwrap();
+    assert!(
+        h.masked_fraction > 0.10,
+        "fixture must mask more than 10% of cells, got {}",
+        h.masked_fraction
+    );
+    assert!(
+        h.degraded,
+        "the starved solver's partial acceptance must be reported"
+    );
+    let err = mean_rel_error(&advisor, &cloud);
+    assert!(
+        err < 0.30,
+        "heavily-masked degraded constant error {err} out of bounds"
+    );
+    let tree = fnf_tree(0, &advisor.constant().unwrap().weights(BETA_PROBE_BYTES));
+    assert!(tree.is_spanning());
+}
+
+fn attempt_totals(run: &FaultyTpRun) -> (u64, u64) {
+    let log = run.aggregate_log();
+    (log.attempts, log.successes)
+}
+
+/// The adaptive retry planner's claim: at the same fault rate it spends
+/// no more probe attempts than the fixed policy while matching or beating
+/// its success rate — the budget moves attempts from links with a clean
+/// history (cold, 2 max) to links with a failure history (hot, 4 max).
+#[test]
+fn adaptive_retry_spends_fewer_attempts_at_equal_or_better_success_rate() {
+    let n = 12;
+    let cloud = SyntheticCloud::new(CloudConfig::small_test(n, 21));
+    let plan = FaultPlan {
+        flaky_links: vec![FlakyLink {
+            i: 0,
+            j: 1,
+            loss_prob: 0.9,
+        }],
+        ..FaultPlan::uniform(7, 0.02)
+    };
+    let faulty = FaultyCloud::new(cloud, plan);
+    let steps = 6;
+
+    let fixed = Calibrator::new().calibrate_tp_faulty_par(
+        &faulty,
+        0.0,
+        1800.0,
+        steps,
+        &RetryPolicy::default(),
+        ImputePolicy::LastGood,
+    );
+    let adaptive = Calibrator::new().calibrate_tp_faulty_adaptive_par(
+        &faulty,
+        0.0,
+        1800.0,
+        steps,
+        &AdaptiveRetryPolicy::default(),
+        ImputePolicy::LastGood,
+    );
+
+    let (fixed_attempts, fixed_successes) = attempt_totals(&fixed);
+    let (adaptive_attempts, adaptive_successes) = attempt_totals(&adaptive);
+    assert!(
+        adaptive_attempts <= fixed_attempts,
+        "adaptive spent {adaptive_attempts} attempts, fixed {fixed_attempts}"
+    );
+    let fixed_rate = fixed_successes as f64 / fixed_attempts as f64;
+    let adaptive_rate = adaptive_successes as f64 / adaptive_attempts as f64;
+    assert!(
+        adaptive_rate >= fixed_rate,
+        "adaptive success rate {adaptive_rate} below fixed {fixed_rate}"
+    );
 }
 
 #[test]

@@ -5,7 +5,7 @@
 //! Advisor adoption of sharded runs, and the binary `NetTrace` format
 //! against the JSON path.
 
-use cloudconst::cloud::{CloudConfig, FaultPlan, FaultyCloud, SyntheticCloud};
+use cloudconst::cloud::{CloudConfig, FaultPlan, FaultyCloud, FlakyLink, SyntheticCloud};
 use cloudconst::coord::{
     decode_net_trace, encode_net_trace, CodecError, Coordinator, CoordinatorConfig,
     LoopbackTransport, SimConfig, SimTransport,
@@ -206,6 +206,63 @@ fn advisor_adopts_sharded_run() {
     assert_eq!(hi.masked_fraction, he.masked_fraction);
     assert_eq!(hi.quarantined, he.quarantined);
     assert_eq!(external.campaign_history().len(), 1);
+}
+
+/// Quarantine survives sharding: a link dead on every snapshot ends up
+/// quarantined whether the campaign ran in-process or was merged from
+/// shard fragments, and the merged probe logs carry the same worst-wins
+/// outcome history that drives the quarantine decision.
+#[test]
+fn quarantine_survives_sharded_merge() {
+    let n = 8;
+    let plan = FaultPlan {
+        flaky_links: vec![FlakyLink {
+            i: 0,
+            j: 1,
+            loss_prob: 1.0,
+        }],
+        ..FaultPlan::none(4)
+    };
+    let cloud = FaultyCloud::new(
+        SyntheticCloud::new(CloudConfig::small_test(n, 9)),
+        plan,
+    );
+    // time_step 5 ≥ the default quarantine_after of 3 consecutive failures.
+    let quick = AdvisorConfig {
+        time_step: 5,
+        snapshot_interval: 30.0,
+        ..AdvisorConfig::default()
+    };
+
+    let mut internal = Advisor::new(quick.clone());
+    internal.calibrate_faulty_par(&cloud, 0.0).unwrap();
+    assert_eq!(internal.quarantined(), &[(0, 1)]);
+
+    for k in [2usize, 4] {
+        let mut config = CoordinatorConfig::new(k);
+        config.calibration = quick.calibration.clone();
+        config.retry = quick.retry.clone();
+        config.impute = quick.impute;
+        let mut transport = SimTransport::new(cloud.clone(), k, SimConfig::default());
+        let sharded = Coordinator::new(config)
+            .calibrate_tp(&mut transport, 0.0, quick.snapshot_interval, quick.time_step)
+            .expect("loss-free campaign cannot abort");
+
+        let mut external = Advisor::new(quick.clone());
+        external.adopt_faulty_run(sharded.run, 0.0).unwrap();
+        assert_eq!(
+            external.quarantined(),
+            &[(0, 1)],
+            "K={k}: the dead link must be quarantined after the merge"
+        );
+        assert!(external.is_quarantined(0, 1), "K={k}");
+        assert!(!external.is_quarantined(1, 0), "K={k}");
+
+        let (hi, he) = (internal.health(0.0).unwrap(), external.health(0.0).unwrap());
+        assert_eq!(hi.quarantined, he.quarantined, "K={k}: health quarantine");
+        assert_eq!(hi.probe_success_rate, he.probe_success_rate, "K={k}");
+        assert_eq!(hi.masked_fraction, he.masked_fraction, "K={k}");
+    }
 }
 
 /// Build a trace of the constant component — the paper's premise is that
