@@ -10,7 +10,10 @@
 //! `RAYON_NUM_THREADS=1` subprocess.
 
 use cloudconst_cloud::{CloudConfig, FaultPlan, FaultyCloud, SyntheticCloud};
-use cloudconst_coord::{Coordinator, CoordinatorConfig, LoopbackTransport};
+use cloudconst_coord::{
+    AuthKey, Coordinator, CoordinatorConfig, LoopbackTransport, TcpConfig, TcpTransport,
+    TcpWorkerServer,
+};
 use cloudconst_linalg::Mat;
 use cloudconst_netmodel::{AdaptiveRetryPolicy, Calibrator, ImputePolicy, RetryPolicy};
 use cloudconst_rpca::{apg, ApgOptions};
@@ -258,6 +261,41 @@ pub fn bench_calibration_sharded(n: usize, shards: usize, reps: usize) -> Vec<Be
     ]
 }
 
+/// Time the same 10-snapshot sharded calibration over the real TCP
+/// transport on localhost: sealed length-prefixed frames, a live
+/// [`TcpWorkerServer`], one connection per shard. Directly comparable to
+/// `calibration_sharded` (same cloud, same shard count) — the delta is the
+/// cost of sockets + sealing over the in-process wire. The metric records
+/// frames delivered per wall second.
+pub fn bench_calibration_tcp_localhost(n: usize, shards: usize, reps: usize) -> BenchRecord {
+    let cloud = FaultyCloud::new(
+        SyntheticCloud::new(CloudConfig::ec2_like(n, 7)),
+        FaultPlan::none(7),
+    );
+    let key = AuthKey::from_seed(7);
+    let coordinator = Coordinator::new(CoordinatorConfig::new(shards));
+    let mut frames = 0u64;
+    let seconds = best_of(reps, || {
+        // One campaign per server incarnation (worker response caches are
+        // campaign-scoped), so each rep spawns a fresh server; its setup
+        // is part of the distributed path being timed.
+        let server = TcpWorkerServer::spawn(cloud.clone(), shards, key).expect("bind localhost");
+        let mut transport = TcpTransport::connect(&server.shard_addrs(shards), TcpConfig::new(key))
+            .expect("connect over localhost");
+        let run = coordinator
+            .calibrate_tp(&mut transport, 0.0, 60.0, 10)
+            .expect("localhost campaign cannot abort");
+        frames = run.report.wire.frames_delivered;
+        run
+    });
+    BenchRecord {
+        name: "calibration_tcp_localhost".into(),
+        n: n as u64,
+        seconds,
+        metric: if seconds > 0.0 { frames as f64 / seconds } else { 0.0 },
+    }
+}
+
 /// Time 60 simulated seconds of background traffic on the paper's
 /// 1024-host tree; the metric is flows completed per wall second.
 pub fn bench_simnet(reps: usize) -> BenchRecord {
@@ -316,6 +354,7 @@ pub fn run_suite(sizes: &[usize], serial_rpca_seconds: Option<f64>, date: String
         sizes.last().copied().unwrap_or(64).max(32)
     };
     records.extend(bench_calibration_sharded(sharded_n, 4, 1));
+    records.push(bench_calibration_tcp_localhost(sharded_n, 4, 1));
     records.push(bench_simnet(2));
 
     let par = rpca_hot_seconds();
@@ -426,6 +465,17 @@ mod tests {
             .unwrap();
         assert!(sharded.metric > 0.0, "ratio metric must be recorded");
         assert_eq!(sharded.n, 32, "quick/test runs bench sharding at N >= 32");
+        let tcp = report
+            .records
+            .iter()
+            .find(|r| r.name == "calibration_tcp_localhost")
+            .unwrap();
+        assert_eq!(tcp.n, 32, "TCP leg runs at the same size as the sharded one");
+        assert!(
+            tcp.metric > 0.0,
+            "frames-per-second metric must be recorded: {}",
+            tcp.metric
+        );
         assert!(names.contains(&"rpca_10x4096_parallel"));
         assert!(names.contains(&"rpca_10x4096_speedup"));
         for r in &report.records {

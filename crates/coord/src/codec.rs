@@ -45,6 +45,15 @@ pub const KIND_PARTIAL_TP: u16 = 4;
 pub const KIND_NET_TRACE: u16 = 5;
 /// Frame kind: a coordinator → worker snapshot reset (shard failover).
 pub const KIND_RESET: u16 = 6;
+/// Frame kind: a worker → coordinator authentication rejection (the frame's
+/// keyed tag did not verify; see [`crate::auth`]).
+pub const KIND_AUTH_REJECT: u16 = 7;
+/// Frame kind: a coordinator → worker connection hello (socket transports
+/// bind a connection to a shard and validate the campaign key eagerly).
+pub const KIND_HELLO: u16 = 8;
+/// Frame kind: a worker → coordinator hello acknowledgement carrying the
+/// cluster size the hosted shards probe.
+pub const KIND_HELLO_ACK: u16 = 9;
 
 /// Typed decode failure. Corruption is detected, never panicked on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -291,11 +291,17 @@ impl Coordinator {
     }
 
     /// Send `tasks`, pump the wire until every one is answered, re-sending
-    /// unanswered frames each time the wire drains, up to the dispatch
-    /// budget. Returns the accepted responses in delivery order (callers
-    /// must only fold them order-independently), or the shards still owing
-    /// responses when the budget runs out. Either way the wire is drained
-    /// on return — no stale frame can leak into a later barrier.
+    /// unanswered frames each time the wire stalls (drained in-process,
+    /// receive-timeout on a socket), up to the dispatch budget. Returns
+    /// the accepted responses in delivery order (callers must only fold
+    /// them order-independently), or the shards owing responses once they
+    /// are declared dead — either observed dead by the transport's
+    /// [`Transport::shard_dead`] probe, or silent past the whole budget.
+    ///
+    /// The barrier may return with stragglers still in flight (a socket
+    /// cannot be "drained"); every campaign seq is globally unique, so a
+    /// late response simply fails the `pending` lookup of whatever barrier
+    /// finally delivers it and is dropped.
     fn run_barrier<T: Transport, R>(
         &self,
         transport: &mut T,
@@ -311,16 +317,43 @@ impl Coordinator {
         let mut out = Vec::with_capacity(pending.len());
         let mut sends = 1u32;
         loop {
-            while let Some(frame) = transport.deliver_next()? {
-                let (seq, r) = accept(Message::decode(&frame)?)?;
-                // A response to an already-satisfied (or foreign) seq is a
-                // duplicate from an earlier re-dispatch race; drop it.
-                if pending.remove(&seq).is_some() {
-                    out.push(r);
+            while !pending.is_empty() {
+                let Some(frame) = transport.deliver_next()? else {
+                    break;
+                };
+                let msg = Message::decode(&frame)?;
+                // A worker that rejects our tag can never answer: the
+                // campaign is misconfigured, not unlucky.
+                if let Message::AuthReject(_) = msg {
+                    return Err(CoordError::AuthFailure("a worker rejected a frame tag"));
                 }
+                // A response to an already-satisfied (or foreign) seq is a
+                // duplicate from an earlier re-dispatch race, or a
+                // straggler from an aborted barrier; drop it unseen.
+                if !pending.contains_key(&msg.seq()) {
+                    continue;
+                }
+                let (seq, r) = accept(msg)?;
+                pending.remove(&seq);
+                out.push(r);
             }
             if pending.is_empty() {
                 return Ok(Barrier::Done(out));
+            }
+            // Deadness probe first: an observed death (swallowed frame,
+            // failed write, closed connection) needs no budget burn.
+            let mut dead: Vec<usize> = pending
+                .values()
+                .map(|&(s, _)| s)
+                .filter(|&s| transport.shard_dead(s))
+                .collect();
+            dead.sort_unstable();
+            dead.dedup();
+            if !dead.is_empty() {
+                return Ok(Barrier::Dead {
+                    shards: dead,
+                    missing: pending.len(),
+                });
             }
             if sends >= self.config.dispatch_attempts {
                 let mut shards: Vec<usize> = pending.values().map(|&(s, _)| s).collect();

@@ -23,18 +23,25 @@
 //! (typed messages), [`shard`] (round partitioning), [`transport`]
 //! (loopback + deterministic lossy sim), [`worker`], [`coordinator`].
 
+pub mod auth;
 pub mod codec;
 pub mod coordinator;
 pub mod shard;
+pub mod tcp;
 pub mod transport;
 pub mod wire;
 pub mod worker;
 
+pub use auth::AuthKey;
 pub use codec::{decode_net_trace, encode_net_trace, CodecError};
 pub use coordinator::{CampaignReport, Coordinator, CoordinatorConfig, ShardedRun};
 pub use shard::ShardPlan;
+pub use tcp::{TcpConfig, TcpTransport, TcpWorkerServer};
 pub use transport::{LoopbackTransport, ShardId, SimConfig, SimTransport, Transport, WireStats};
-pub use wire::{CellResult, FlushRequest, Message, PartialTpMatrix, Phase, PhaseAck, ShardTask};
+pub use wire::{
+    AuthReject, CellResult, FlushRequest, Hello, HelloAck, Message, PartialTpMatrix, Phase,
+    PhaseAck, ShardTask,
+};
 pub use worker::ShardWorker;
 
 use std::fmt;
@@ -53,6 +60,11 @@ pub enum CoordError {
     Protocol(&'static str),
     /// The coordinator/transport configuration is inconsistent.
     Config(&'static str),
+    /// A frame's keyed authentication tag did not verify — wrong campaign
+    /// key, tampering, or a truncated seal (see [`auth`]).
+    AuthFailure(&'static str),
+    /// A socket-level transport failure (connect, handshake I/O).
+    Transport(String),
 }
 
 impl fmt::Display for CoordError {
@@ -64,6 +76,8 @@ impl fmt::Display for CoordError {
             }
             CoordError::Protocol(why) => write!(f, "protocol violation: {why}"),
             CoordError::Config(why) => write!(f, "bad configuration: {why}"),
+            CoordError::AuthFailure(why) => write!(f, "authentication failure: {why}"),
+            CoordError::Transport(why) => write!(f, "transport failure: {why}"),
         }
     }
 }

@@ -1,0 +1,589 @@
+//! Real TCP socket transport for the sharded coordinator.
+//!
+//! The wire format is deliberately thin: each direction carries
+//! length-prefixed *sealed* frames —
+//!
+//! ```text
+//! [len: u32 LE] [tag: u64 LE ‖ CCF1 frame]
+//!               └──────── sealed (auth.rs) ───────┘
+//! ```
+//!
+//! — where the payload past the length prefix is exactly what
+//! [`AuthKey::seal`] produces over an ordinary CCF1 frame. The codec layer
+//! is untouched: every byte that crosses the socket decodes with the same
+//! [`Message`](crate::wire::Message) machinery the in-process transports
+//! use, which is what lets the conformance suite run one contract over
+//! loopback, sim and TCP.
+//!
+//! Topology: [`TcpWorkerServer`] hosts `K` [`ShardWorker`]s behind one
+//! listener; [`TcpTransport::connect`] opens one stream per shard (the
+//! addresses may all point at one server — frames route by the shard id
+//! every message carries) and performs a sealed `Hello`/`HelloAck`
+//! handshake per stream, which validates the campaign key eagerly and
+//! tells the coordinator the cluster size `n`.
+//!
+//! Death semantics mirror [`Transport::shard_dead`]: a failed write or a
+//! reader hitting EOF marks the shard *observably* dead; a silent socket
+//! is only declared dead by the coordinator once the dispatch budget runs
+//! out, because TCP cannot distinguish slow from gone. There are no read
+//! timeouts on data-path sockets — a timeout mid-`read_exact` would
+//! corrupt the length-prefixed framing — so reader threads block until
+//! EOF and shutdown happens by closing the socket.
+//!
+//! One campaign per server incarnation: worker response caches are keyed
+//! by campaign-local seqs (which restart at 1), so a server must be
+//! respawned between campaigns.
+
+use crate::auth::AuthKey;
+use crate::transport::{ShardId, Transport, WireStats};
+use crate::wire::{AuthReject, Hello, HelloAck, Message};
+use crate::worker::ShardWorker;
+use crate::CoordError;
+use cloudconst_netmodel::PureFallibleNetworkProbe;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Largest sealed frame a peer may announce. A hostile (or corrupted)
+/// length prefix must not make us allocate unbounded memory; 64 MiB is
+/// orders of magnitude above any real `PartialTpMatrix`.
+const MAX_FRAME: usize = 64 << 20;
+
+/// Poll interval of the server's non-blocking accept loop.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+fn txerr(what: &str, e: io::Error) -> CoordError {
+    CoordError::Transport(format!("{what}: {e}"))
+}
+
+/// Write one `[len][sealed]` record.
+fn write_frame(stream: &mut TcpStream, sealed: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(sealed.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large for u32 len"))?;
+    stream.write_all(&len.to_le_bytes())?;
+    stream.write_all(sealed)?;
+    stream.flush()
+}
+
+/// Read one `[len][sealed]` record, enforcing the [`MAX_FRAME`] cap.
+fn read_frame(stream: &mut TcpStream) -> io::Result<Vec<u8>> {
+    let mut len_bytes = [0u8; 4];
+    stream.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame length prefix exceeds the 64 MiB cap",
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    stream.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Socket-side knobs of a campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpConfig {
+    /// The campaign's shared secret; every frame either way is sealed
+    /// under it.
+    pub key: AuthKey,
+    /// How long [`Transport::deliver_next`] waits for a frame before
+    /// reporting the wire stalled (`None`), prompting a re-dispatch pass.
+    pub recv_timeout: Duration,
+    /// Budget for `connect` plus the `Hello`/`HelloAck` handshake.
+    pub connect_timeout: Duration,
+}
+
+impl TcpConfig {
+    /// Defaults: 250 ms receive stall, 2 s connect/handshake budget.
+    pub fn new(key: AuthKey) -> Self {
+        TcpConfig {
+            key,
+            recv_timeout: Duration::from_millis(250),
+            connect_timeout: Duration::from_secs(2),
+        }
+    }
+
+    /// Replace the receive-stall budget (kill/failover tests shrink it).
+    pub fn with_recv_timeout(mut self, d: Duration) -> Self {
+        self.recv_timeout = d;
+        self
+    }
+}
+
+struct Conn {
+    stream: TcpStream,
+    dead: Arc<AtomicBool>,
+    reader: Option<JoinHandle<()>>,
+}
+
+/// Coordinator-side TCP transport: one sealed stream per shard.
+pub struct TcpTransport {
+    cfg: TcpConfig,
+    conns: Vec<Conn>,
+    rx: Receiver<Vec<u8>>,
+    /// Kept so `rx` never reports `Disconnected` while the transport
+    /// lives, even after every reader thread has exited.
+    _tx: Sender<Vec<u8>>,
+    n: usize,
+    stats: WireStats,
+}
+
+impl TcpTransport {
+    /// Connect one stream per shard (`addrs[s]` is shard `s`; addresses
+    /// may repeat to put several shards on one server) and handshake each
+    /// under `cfg.key`. Fails typed: [`CoordError::AuthFailure`] when a
+    /// worker rejects our tag (or its ack fails ours),
+    /// [`CoordError::Transport`] for socket-level trouble.
+    pub fn connect(addrs: &[SocketAddr], cfg: TcpConfig) -> Result<Self, CoordError> {
+        if addrs.is_empty() {
+            return Err(CoordError::Config("at least one shard address required"));
+        }
+        let (tx, rx) = mpsc::channel();
+        let mut conns = Vec::with_capacity(addrs.len());
+        let mut n = 0usize;
+        for (shard, addr) in addrs.iter().enumerate() {
+            let mut stream = TcpStream::connect_timeout(addr, cfg.connect_timeout)
+                .map_err(|e| txerr("connect", e))?;
+            stream.set_nodelay(true).map_err(|e| txerr("nodelay", e))?;
+            let shard_n = Self::handshake(&mut stream, shard, &cfg)?;
+            if shard == 0 {
+                n = shard_n;
+            } else if shard_n != n {
+                return Err(CoordError::Config("shards disagree on cluster size"));
+            }
+            let dead = Arc::new(AtomicBool::new(false));
+            let reader = {
+                let mut stream = stream.try_clone().map_err(|e| txerr("clone", e))?;
+                let tx = tx.clone();
+                let dead = Arc::clone(&dead);
+                thread::spawn(move || loop {
+                    match read_frame(&mut stream) {
+                        Ok(sealed) => {
+                            if tx.send(sealed).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => {
+                            // EOF or a broken socket: the shard's host is
+                            // observably gone (or we are shutting down).
+                            dead.store(true, Ordering::SeqCst);
+                            break;
+                        }
+                    }
+                })
+            };
+            conns.push(Conn {
+                stream,
+                dead,
+                reader: Some(reader),
+            });
+        }
+        Ok(TcpTransport {
+            cfg,
+            conns,
+            rx,
+            _tx: tx,
+            n,
+            stats: WireStats::default(),
+        })
+    }
+
+    /// Sealed `Hello` → sealed `HelloAck`, returning the cluster size the
+    /// worker reports. Runs under a temporary read timeout so a mute or
+    /// wrong-protocol peer cannot hang `connect` forever.
+    fn handshake(stream: &mut TcpStream, shard: usize, cfg: &TcpConfig) -> Result<usize, CoordError> {
+        let hello = Message::Hello(Hello {
+            seq: 0,
+            shard: shard as u32,
+        })
+        .encode();
+        write_frame(stream, &cfg.key.seal(&hello)).map_err(|e| txerr("hello", e))?;
+        stream
+            .set_read_timeout(Some(cfg.connect_timeout))
+            .map_err(|e| txerr("handshake timeout", e))?;
+        let sealed = read_frame(stream).map_err(|e| txerr("hello ack", e))?;
+        stream
+            .set_read_timeout(None)
+            .map_err(|e| txerr("handshake timeout", e))?;
+        let frame = cfg.key.open(&sealed)?;
+        match Message::decode(frame)? {
+            Message::HelloAck(a) if a.shard == shard as u32 => Ok(a.n as usize),
+            Message::HelloAck(_) => Err(CoordError::Protocol("hello ack for the wrong shard")),
+            Message::AuthReject(_) => {
+                Err(CoordError::AuthFailure("worker rejected the campaign key"))
+            }
+            _ => Err(CoordError::Protocol("unexpected frame during handshake")),
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn shards(&self) -> usize {
+        self.conns.len()
+    }
+
+    fn send(&mut self, shard: ShardId, frame: Vec<u8>) -> Result<(), CoordError> {
+        let Some(conn) = self.conns.get_mut(shard) else {
+            return Err(CoordError::Protocol("send to unknown shard"));
+        };
+        self.stats.frames_sent += 1;
+        self.stats.bytes_sent += frame.len() as u64;
+        if conn.dead.load(Ordering::SeqCst) {
+            // The host is gone; the frame goes the way of a sim-killed
+            // shard's — swallowed, surfaced through the deadness probe.
+            self.stats.frames_lost += 1;
+            return Ok(());
+        }
+        if write_frame(&mut conn.stream, &self.cfg.key.seal(&frame)).is_err() {
+            conn.dead.store(true, Ordering::SeqCst);
+            self.stats.frames_lost += 1;
+        }
+        Ok(())
+    }
+
+    fn deliver_next(&mut self) -> Result<Option<Vec<u8>>, CoordError> {
+        match self.rx.recv_timeout(self.cfg.recv_timeout) {
+            Ok(sealed) => {
+                let frame = self.cfg.key.open(&sealed)?;
+                self.stats.frames_delivered += 1;
+                self.stats.bytes_delivered += frame.len() as u64;
+                Ok(Some(frame.to_vec()))
+            }
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            // Unreachable while `_tx` lives, but harmless: a stall.
+            Err(RecvTimeoutError::Disconnected) => Ok(None),
+        }
+    }
+
+    fn stats(&self) -> WireStats {
+        self.stats
+    }
+
+    fn shard_dead(&self, shard: ShardId) -> bool {
+        self.conns
+            .get(shard)
+            .is_some_and(|c| c.dead.load(Ordering::SeqCst))
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        for conn in &mut self.conns {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+        for conn in &mut self.conns {
+            if let Some(h) = conn.reader.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// A listener hosting `K` [`ShardWorker`]s for exactly one campaign.
+///
+/// Frames route by the shard id they carry, so any number of shards can
+/// live behind one server. The kill hooks ([`kill_shard_after`],
+/// [`disconnect_shard`]) exist for fault tests: the first models a host
+/// that goes silent (frames swallowed, socket open), the second one that
+/// dies abruptly (socket closed, reader EOF).
+///
+/// [`kill_shard_after`]: TcpWorkerServer::kill_shard_after
+/// [`disconnect_shard`]: TcpWorkerServer::disconnect_shard
+pub struct TcpWorkerServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    /// Streams registered by each shard's `Hello`, kept for
+    /// `disconnect_shard` and shutdown.
+    conns: Arc<Mutex<Vec<Option<TcpStream>>>>,
+    /// Per-shard silent-kill threshold: swallow every frame past this
+    /// many received (`u64::MAX` = never).
+    kill_after: Arc<Vec<AtomicU64>>,
+    /// Per-shard frames received (kill accounting).
+    received: Arc<Vec<AtomicU64>>,
+}
+
+struct ServerShared<P> {
+    key: AuthKey,
+    workers: Vec<Mutex<ShardWorker<P>>>,
+    conns: Arc<Mutex<Vec<Option<TcpStream>>>>,
+    kill_after: Arc<Vec<AtomicU64>>,
+    received: Arc<Vec<AtomicU64>>,
+    n: usize,
+}
+
+impl TcpWorkerServer {
+    /// Host `shards` workers (each owning a clone of `probe`) on an
+    /// ephemeral loopback port.
+    pub fn spawn<P>(probe: P, shards: usize, key: AuthKey) -> io::Result<Self>
+    where
+        P: PureFallibleNetworkProbe + Clone + Send + 'static,
+    {
+        Self::spawn_on("127.0.0.1:0", probe, shards, key)
+    }
+
+    /// Host `shards` workers on an explicit bind address.
+    pub fn spawn_on<A, P>(addr: A, probe: P, shards: usize, key: AuthKey) -> io::Result<Self>
+    where
+        A: ToSocketAddrs,
+        P: PureFallibleNetworkProbe + Clone + Send + 'static,
+    {
+        assert!(shards >= 1, "at least one shard required");
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let workers: Vec<Mutex<ShardWorker<P>>> = (0..shards)
+            .map(|s| Mutex::new(ShardWorker::new(probe.clone(), s)))
+            .collect();
+        let n = workers[0].lock().unwrap().n();
+        let conns = Arc::new(Mutex::new((0..shards).map(|_| None).collect::<Vec<_>>()));
+        let kill_after: Arc<Vec<AtomicU64>> =
+            Arc::new((0..shards).map(|_| AtomicU64::new(u64::MAX)).collect());
+        let received: Arc<Vec<AtomicU64>> =
+            Arc::new((0..shards).map(|_| AtomicU64::new(0)).collect());
+        let shared = Arc::new(ServerShared {
+            key,
+            workers,
+            conns: Arc::clone(&conns),
+            kill_after: Arc::clone(&kill_after),
+            received: Arc::clone(&received),
+            n,
+        });
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || {
+                while !shutdown.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let shared = Arc::clone(&shared);
+                            let shutdown = Arc::clone(&shutdown);
+                            thread::spawn(move || serve_conn(stream, shared, shutdown));
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            thread::sleep(ACCEPT_POLL);
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+
+        Ok(TcpWorkerServer {
+            addr,
+            shutdown,
+            accept: Some(accept),
+            conns,
+            kill_after,
+            received,
+        })
+    }
+
+    /// The bound address workers answer on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Convenience: the same address repeated once per shard, the shape
+    /// [`TcpTransport::connect`] wants for a single-server cluster.
+    pub fn shard_addrs(&self, shards: usize) -> Vec<SocketAddr> {
+        vec![self.addr; shards]
+    }
+
+    /// After `frames` more frames to `shard`, swallow everything silently:
+    /// the socket stays open but nothing is ever answered — the shape of a
+    /// wedged host, detectable only by the coordinator's dispatch budget.
+    pub fn kill_shard_after(&self, shard: ShardId, frames: u64) {
+        assert!(shard < self.kill_after.len(), "unknown shard");
+        let seen = self.received[shard].load(Ordering::SeqCst);
+        self.kill_after[shard].store(seen + frames, Ordering::SeqCst);
+    }
+
+    /// Abruptly close `shard`'s registered connection: the coordinator's
+    /// reader sees EOF and the shard turns observably dead.
+    pub fn disconnect_shard(&self, shard: ShardId) {
+        let mut conns = self.conns.lock().unwrap();
+        if let Some(stream) = conns.get_mut(shard).and_then(Option::take) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Stop accepting, close every registered connection, join the accept
+    /// loop. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let mut conns = self.conns.lock().unwrap();
+        for slot in conns.iter_mut() {
+            if let Some(stream) = slot.take() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+        drop(conns);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TcpWorkerServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_conn<P: PureFallibleNetworkProbe>(
+    mut stream: TcpStream,
+    shared: Arc<ServerShared<P>>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let _ = stream.set_nodelay(true);
+    while !shutdown.load(Ordering::SeqCst) {
+        let sealed = match read_frame(&mut stream) {
+            Ok(s) => s,
+            Err(_) => break,
+        };
+        let reply = match shared.key.open(&sealed) {
+            Err(_) => {
+                // Unauthentic frame: never executed, answered with a typed
+                // rejection the coordinator surfaces as `AuthFailure`.
+                Some(
+                    Message::AuthReject(AuthReject {
+                        seq: 0,
+                        shard: u32::MAX,
+                    })
+                    .encode(),
+                )
+            }
+            Ok(frame) => match Message::decode(frame) {
+                // An authentic-but-malformed frame is a protocol bug, not
+                // wire noise (the tag already vouched for the bytes);
+                // dropping the connection is the loudest safe answer.
+                Err(_) => break,
+                Ok(Message::Hello(h)) => {
+                    let shard = h.shard as usize;
+                    if shard >= shared.workers.len() {
+                        break;
+                    }
+                    if let Ok(clone) = stream.try_clone() {
+                        shared.conns.lock().unwrap()[shard] = Some(clone);
+                    }
+                    Some(
+                        Message::HelloAck(HelloAck {
+                            seq: h.seq,
+                            shard: h.shard,
+                            n: shared.n as u32,
+                        })
+                        .encode(),
+                    )
+                }
+                Ok(msg) => {
+                    let shard = msg.shard() as usize;
+                    if shard >= shared.workers.len() {
+                        break;
+                    }
+                    let seen = shared.received[shard].fetch_add(1, Ordering::SeqCst) + 1;
+                    if seen > shared.kill_after[shard].load(Ordering::SeqCst) {
+                        None // the wedged-host hook: swallow silently
+                    } else {
+                        match shared.workers[shard].lock().unwrap().handle(frame) {
+                            Ok(response) => Some(response),
+                            Err(_) => break,
+                        }
+                    }
+                }
+            },
+        };
+        if let Some(response) = reply {
+            if write_frame(&mut stream, &shared.key.seal(&response)).is_err() {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudconst_netmodel::{FallibleNetworkProbe, ProbeAttempt};
+
+    #[derive(Clone)]
+    struct Fixed;
+    impl FallibleNetworkProbe for Fixed {
+        fn n(&self) -> usize {
+            4
+        }
+        fn try_probe(&mut self, i: usize, j: usize, b: u64, t: f64, d: f64) -> ProbeAttempt {
+            self.try_probe_pure(i, j, b, t, d)
+        }
+    }
+    impl PureFallibleNetworkProbe for Fixed {
+        fn try_probe_pure(&self, i: usize, j: usize, _b: u64, _t: f64, _d: f64) -> ProbeAttempt {
+            ProbeAttempt::Ok(if i == j { 0.0 } else { 0.25 })
+        }
+    }
+
+    #[test]
+    fn handshake_learns_cluster_size() {
+        let key = AuthKey::from_seed(11);
+        let server = TcpWorkerServer::spawn(Fixed, 2, key).unwrap();
+        let t = TcpTransport::connect(&server.shard_addrs(2), TcpConfig::new(key)).unwrap();
+        assert_eq!(t.n(), 4);
+        assert_eq!(t.shards(), 2);
+        assert!(!t.shard_dead(0) && !t.shard_dead(1));
+    }
+
+    #[test]
+    fn wrong_key_is_a_typed_auth_failure() {
+        let server = TcpWorkerServer::spawn(Fixed, 1, AuthKey::from_seed(1)).unwrap();
+        let cfg = TcpConfig::new(AuthKey::from_seed(2));
+        match TcpTransport::connect(&server.shard_addrs(1), cfg) {
+            Err(CoordError::AuthFailure(_)) => {}
+            Err(other) => panic!("expected AuthFailure, got {other:?}"),
+            Ok(_) => panic!("expected AuthFailure, got a connected transport"),
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut served, _) = listener.accept().unwrap();
+        let bogus = ((MAX_FRAME + 1) as u32).to_le_bytes();
+        client.write_all(&bogus).unwrap();
+        client.flush().unwrap();
+        let err = read_frame(&mut served).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn disconnect_turns_the_shard_observably_dead() {
+        let key = AuthKey::from_seed(5);
+        let server = TcpWorkerServer::spawn(Fixed, 2, key).unwrap();
+        let t = TcpTransport::connect(&server.shard_addrs(2), key_cfg(key)).unwrap();
+        server.disconnect_shard(1);
+        // The reader thread needs a moment to observe the EOF.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !t.shard_dead(1) {
+            assert!(std::time::Instant::now() < deadline, "EOF never observed");
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert!(!t.shard_dead(0), "the other shard is untouched");
+    }
+
+    fn key_cfg(key: AuthKey) -> TcpConfig {
+        TcpConfig::new(key).with_recv_timeout(Duration::from_millis(50))
+    }
+}

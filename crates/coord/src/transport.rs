@@ -60,13 +60,27 @@ pub trait Transport {
     /// that is not an error; the coordinator re-dispatches.
     fn send(&mut self, shard: ShardId, frame: Vec<u8>) -> Result<(), CoordError>;
 
-    /// Next worker frame ready for the coordinator, or `None` when the
-    /// wire is drained (nothing in flight — anything unacknowledged is
-    /// lost for good and needs re-dispatch).
+    /// Next worker frame ready for the coordinator, or `None` when no
+    /// frame will arrive without further action — for in-process wires
+    /// that means the wire is drained; for a socket it means nothing
+    /// arrived within the receive budget. Either way, anything still
+    /// unacknowledged needs re-dispatch.
     fn deliver_next(&mut self) -> Result<Option<Vec<u8>>, CoordError>;
 
     /// Accounting snapshot.
     fn stats(&self) -> WireStats;
+
+    /// Deadness probe: has the transport *observed* `shard` die — a
+    /// swallowed frame on a simulated kill, a failed write or a closed
+    /// connection on a socket? Silence alone is not deadness (a real
+    /// socket cannot distinguish a slow peer from a dead one); silent
+    /// shards are declared dead by the coordinator's dispatch budget
+    /// instead. The default is an immortal transport: in-process loopback
+    /// workers cannot die.
+    fn shard_dead(&self, shard: ShardId) -> bool {
+        let _ = shard;
+        false
+    }
 }
 
 /// Perfect in-process transport: every frame is handled synchronously and
@@ -122,6 +136,9 @@ impl<P: PureFallibleNetworkProbe> Transport for LoopbackTransport<P> {
     fn stats(&self) -> WireStats {
         self.stats
     }
+
+    // `shard_dead` stays the default `false`: loopback workers live in
+    // this process and are immortal by construction.
 }
 
 /// Adversity knobs for [`SimTransport`].
@@ -255,5 +272,64 @@ impl<P: PureFallibleNetworkProbe> Transport for SimTransport<P> {
 
     fn stats(&self) -> WireStats {
         self.stats
+    }
+
+    /// A killed shard is *observably* dead once it has swallowed a frame —
+    /// the wire-level analogue of a socket transport's failed write.
+    fn shard_dead(&self, shard: ShardId) -> bool {
+        self.kill_after[shard].is_some_and(|limit| self.shard_sends[shard] > limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudconst_netmodel::{FallibleNetworkProbe, ProbeAttempt};
+
+    #[derive(Clone)]
+    struct Fixed;
+    impl FallibleNetworkProbe for Fixed {
+        fn n(&self) -> usize {
+            4
+        }
+        fn try_probe(&mut self, i: usize, j: usize, b: u64, t: f64, d: f64) -> ProbeAttempt {
+            self.try_probe_pure(i, j, b, t, d)
+        }
+    }
+    impl PureFallibleNetworkProbe for Fixed {
+        fn try_probe_pure(&self, i: usize, j: usize, _b: u64, _t: f64, _d: f64) -> ProbeAttempt {
+            ProbeAttempt::Ok(if i == j { 0.0 } else { 0.25 })
+        }
+    }
+
+    fn flush_frame(seq: u64, shard: u32) -> Vec<u8> {
+        crate::wire::Message::Flush(crate::wire::FlushRequest {
+            seq,
+            shard,
+            snapshot: 0,
+        })
+        .encode()
+    }
+
+    #[test]
+    fn loopback_shards_are_immortal() {
+        let mut t = LoopbackTransport::new(Fixed, 2);
+        assert!(!t.shard_dead(0) && !t.shard_dead(1));
+        t.send(0, flush_frame(1, 0)).unwrap();
+        while t.deliver_next().unwrap().is_some() {}
+        assert!(!t.shard_dead(0) && !t.shard_dead(1));
+    }
+
+    #[test]
+    fn sim_kill_becomes_observable_after_a_swallowed_frame() {
+        let mut t = SimTransport::new(Fixed, 2, SimConfig::default());
+        t.kill_after(1, 1);
+        assert!(!t.shard_dead(1), "no frame swallowed yet");
+        t.send(1, flush_frame(1, 1)).unwrap();
+        assert!(!t.shard_dead(1), "first frame is still answered");
+        t.send(1, flush_frame(2, 1)).unwrap();
+        assert!(t.shard_dead(1), "the swallowed frame must surface death");
+        assert!(!t.shard_dead(0), "the other shard is untouched");
+        assert_eq!(t.stats().frames_lost, 1);
     }
 }

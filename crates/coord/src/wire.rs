@@ -24,8 +24,9 @@
 //!   clean snapshot is a no-op, so re-dispatch needs no special casing.
 
 use crate::codec::{
-    decode_frame, encode_frame, put_f64, put_u32, put_u64, CodecError, Reader, KIND_FLUSH_REQUEST,
-    KIND_PARTIAL_TP, KIND_PHASE_ACK, KIND_RESET, KIND_SHARD_TASK,
+    decode_frame, encode_frame, put_f64, put_u32, put_u64, CodecError, Reader, KIND_AUTH_REJECT,
+    KIND_FLUSH_REQUEST, KIND_HELLO, KIND_HELLO_ACK, KIND_PARTIAL_TP, KIND_PHASE_ACK, KIND_RESET,
+    KIND_SHARD_TASK,
 };
 use cloudconst_netmodel::{ProbeOutcome, RetryPolicy};
 
@@ -125,6 +126,42 @@ pub struct PartialTpMatrix {
     pub cells: Vec<CellResult>,
 }
 
+/// Socket-transport connection handshake (coordinator → worker): binds
+/// the connection to `shard` and proves the campaign key before any task
+/// flows. In-process transports never send one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hello {
+    /// Handshake exchange id (0 — handshakes precede the campaign seqs).
+    pub seq: u64,
+    /// The shard this connection will carry frames for.
+    pub shard: u32,
+}
+
+/// Worker acknowledgement of a [`Hello`], announcing the cluster size so
+/// the coordinator can cross-check every worker probes the same cloud.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HelloAck {
+    /// The acknowledged handshake's id.
+    pub seq: u64,
+    /// The responding shard.
+    pub shard: u32,
+    /// Cluster size the shard's probe backend covers.
+    pub n: u32,
+}
+
+/// Worker → coordinator: a received frame's keyed tag did not verify
+/// (see [`crate::auth`]). The worker cannot trust anything inside the
+/// rejected frame, so `seq` is 0 and `shard` is the *worker's* own id
+/// when known (`u32::MAX` otherwise). The coordinator maps this to the
+/// typed [`CoordError::AuthFailure`](crate::CoordError::AuthFailure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuthReject {
+    /// Always 0 — the offending frame's seq is unauthenticated hearsay.
+    pub seq: u64,
+    /// The rejecting worker's shard id, or `u32::MAX` when unknown.
+    pub shard: u32,
+}
+
 /// Any protocol message, for single-point decode.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
@@ -140,6 +177,44 @@ pub enum Message {
     /// the [`FlushRequest`] shape: `snapshot` names the snapshot being
     /// restarted.
     Reset(FlushRequest),
+    /// Coordinator → worker socket-connection handshake.
+    Hello(Hello),
+    /// Worker → coordinator handshake acknowledgement.
+    HelloAck(HelloAck),
+    /// Worker → coordinator authentication rejection.
+    AuthReject(AuthReject),
+}
+
+impl Message {
+    /// The message's exchange id — the key every barrier matches responses
+    /// against. Globally unique within a campaign (handshakes use 0, which
+    /// campaign seqs never do).
+    pub fn seq(&self) -> u64 {
+        match self {
+            Message::Task(t) => t.seq,
+            Message::Ack(a) => a.seq,
+            Message::Flush(f) | Message::Reset(f) => f.seq,
+            Message::Partial(p) => p.seq,
+            Message::Hello(h) => h.seq,
+            Message::HelloAck(h) => h.seq,
+            Message::AuthReject(r) => r.seq,
+        }
+    }
+
+    /// The shard the message concerns (destination for coordinator-bound
+    /// frames, origin for worker-bound ones) — what a multi-shard host
+    /// routes on.
+    pub fn shard(&self) -> u32 {
+        match self {
+            Message::Task(t) => t.shard,
+            Message::Ack(a) => a.shard,
+            Message::Flush(f) | Message::Reset(f) => f.shard,
+            Message::Partial(p) => p.shard,
+            Message::Hello(h) => h.shard,
+            Message::HelloAck(h) => h.shard,
+            Message::AuthReject(r) => r.shard,
+        }
+    }
 }
 
 fn put_retry(buf: &mut Vec<u8>, r: &RetryPolicy) {
@@ -199,6 +274,22 @@ impl Message {
                 put_u32(&mut p, fr.shard);
                 put_u32(&mut p, fr.snapshot);
                 encode_frame(KIND_RESET, &p)
+            }
+            Message::Hello(h) => {
+                put_u64(&mut p, h.seq);
+                put_u32(&mut p, h.shard);
+                encode_frame(KIND_HELLO, &p)
+            }
+            Message::HelloAck(h) => {
+                put_u64(&mut p, h.seq);
+                put_u32(&mut p, h.shard);
+                put_u32(&mut p, h.n);
+                encode_frame(KIND_HELLO_ACK, &p)
+            }
+            Message::AuthReject(r) => {
+                put_u64(&mut p, r.seq);
+                put_u32(&mut p, r.shard);
+                encode_frame(KIND_AUTH_REJECT, &p)
             }
             Message::Partial(m) => {
                 put_u64(&mut p, m.seq);
@@ -280,6 +371,19 @@ impl Message {
                 seq: r.u64()?,
                 shard: r.u32()?,
                 snapshot: r.u32()?,
+            }),
+            KIND_HELLO => Message::Hello(Hello {
+                seq: r.u64()?,
+                shard: r.u32()?,
+            }),
+            KIND_HELLO_ACK => Message::HelloAck(HelloAck {
+                seq: r.u64()?,
+                shard: r.u32()?,
+                n: r.u32()?,
+            }),
+            KIND_AUTH_REJECT => Message::AuthReject(AuthReject {
+                seq: r.u64()?,
+                shard: r.u32()?,
             }),
             KIND_PARTIAL_TP => {
                 let seq = r.u64()?;
@@ -387,6 +491,71 @@ mod tests {
             Message::decode(&msg.encode()).unwrap(),
             Message::Flush(_)
         ));
+    }
+
+    #[test]
+    fn handshake_and_reject_roundtrips() {
+        for msg in [
+            Message::Hello(Hello { seq: 0, shard: 3 }),
+            Message::HelloAck(HelloAck {
+                seq: 0,
+                shard: 3,
+                n: 64,
+            }),
+            Message::AuthReject(AuthReject {
+                seq: 0,
+                shard: u32::MAX,
+            }),
+        ] {
+            assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn seq_and_shard_accessors_cover_every_kind() {
+        let msgs = [
+            Message::Task(sample_task()),
+            Message::Ack(PhaseAck {
+                seq: 42,
+                shard: 3,
+                max_consumed: 0.0,
+            }),
+            Message::Flush(FlushRequest {
+                seq: 42,
+                shard: 3,
+                snapshot: 0,
+            }),
+            Message::Reset(FlushRequest {
+                seq: 42,
+                shard: 3,
+                snapshot: 0,
+            }),
+            Message::Hello(Hello { seq: 42, shard: 3 }),
+            Message::HelloAck(HelloAck {
+                seq: 42,
+                shard: 3,
+                n: 8,
+            }),
+            Message::AuthReject(AuthReject { seq: 42, shard: 3 }),
+        ];
+        for m in &msgs {
+            assert_eq!(m.seq(), 42);
+            assert_eq!(m.shard(), 3);
+        }
+        let partial = Message::Partial(PartialTpMatrix {
+            seq: 42,
+            shard: 3,
+            snapshot: 0,
+            n: 4,
+            attempts: 0,
+            successes: 0,
+            retries: 0,
+            timeouts: 0,
+            losses: 0,
+            cells: Vec::new(),
+        });
+        assert_eq!(partial.seq(), 42);
+        assert_eq!(partial.shard(), 3);
     }
 
     #[test]

@@ -65,9 +65,12 @@ impl<P: PureFallibleNetworkProbe> ShardWorker<P> {
             Message::Task(t) => self.handle_task(t),
             Message::Flush(f) => self.handle_flush(f),
             Message::Reset(f) => self.handle_reset(f),
-            Message::Ack(_) | Message::Partial(_) => {
+            Message::Ack(_) | Message::Partial(_) | Message::HelloAck(_) | Message::AuthReject(_) => {
                 Err(CoordError::Protocol("worker received a coordinator-bound frame"))
             }
+            // Handshake frames are the server's business, not the worker's:
+            // a bare `ShardWorker` has no connection to greet.
+            Message::Hello(_) => Err(CoordError::Protocol("hello outside a connection handshake")),
         }
     }
 

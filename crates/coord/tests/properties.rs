@@ -4,8 +4,15 @@
 //! unsharded fault-aware calibrator.
 
 use cloudconst_cloud::{CloudConfig, FaultPlan, FaultyCloud, SyntheticCloud};
-use cloudconst_coord::{Coordinator, CoordinatorConfig, SimConfig, SimTransport};
-use cloudconst_netmodel::{Calibrator, FaultyTpRun, ImputePolicy, RetryPolicy, TpMatrix};
+use cloudconst_coord::{
+    decode_net_trace, encode_net_trace, AuthKey, AuthReject, CellResult, CoordError, Coordinator,
+    CoordinatorConfig, FlushRequest, Hello, HelloAck, Message, PartialTpMatrix, Phase, PhaseAck,
+    ShardTask, SimConfig, SimTransport,
+};
+use cloudconst_netmodel::{
+    Calibrator, FaultyTpRun, ImputePolicy, NetTrace, PerfMatrix, ProbeOutcome, RetryPolicy,
+    TpMatrix,
+};
 use proptest::prelude::*;
 
 fn assert_tp_bits_equal(a: &TpMatrix, b: &TpMatrix) {
@@ -153,6 +160,105 @@ proptest! {
         assert_runs_bit_identical(&sharded.run, &unsharded);
         prop_assert!(sharded.report.failovers >= 1, "the kill must have fired");
         prop_assert_eq!(sharded.report.shards_alive as usize, k - 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn any_single_byte_flip_is_a_typed_codec_error(
+        seq in 1u64..1_000_000,
+        shard in 0u32..64,
+        round in 0u32..100,
+        snapshot in 0u32..50,
+        bytes in 1u64..1_000_000,
+        cells in 1usize..6,
+        flip_sel in 1u32..256,
+    ) {
+        // One frame of every wire kind, fields drawn per case. A flipped
+        // byte anywhere in any of them must decode to a typed codec error —
+        // never a panic, a hang, or a silently accepted frame. (FNV-1a's
+        // multiply is odd and therefore invertible, so a single-byte change
+        // always lands in a different checksum.)
+        let flip = flip_sel as u8;
+        let frames: Vec<Vec<u8>> = vec![
+            Message::Task(ShardTask {
+                seq, shard, snapshot, round,
+                phase: if seq % 2 == 0 { Phase::Small } else { Phase::Large },
+                bytes,
+                at: round as f64 * 0.5,
+                retry: RetryPolicy::default(),
+                pairs: (0..cells as u32).map(|c| (c, c + 1)).collect(),
+            }).encode(),
+            Message::Ack(PhaseAck { seq, shard, max_consumed: bytes as f64 * 1e-6 }).encode(),
+            Message::Flush(FlushRequest { seq, shard, snapshot }).encode(),
+            Message::Reset(FlushRequest { seq, shard, snapshot }).encode(),
+            Message::Partial(PartialTpMatrix {
+                seq, shard, snapshot,
+                n: 8,
+                attempts: bytes,
+                successes: seq,
+                retries: 1,
+                timeouts: 2,
+                losses: 3,
+                cells: (0..cells as u32).map(|c| CellResult {
+                    i: c,
+                    j: c + 1,
+                    outcome: if c % 2 == 0 { ProbeOutcome::Ok(1) } else { ProbeOutcome::Failed(2) },
+                    alpha: 1e-4,
+                    beta: 1e-9,
+                }).collect(),
+            }).encode(),
+            Message::Hello(Hello { seq, shard }).encode(),
+            Message::HelloAck(HelloAck { seq, shard, n: 8 }).encode(),
+            Message::AuthReject(AuthReject { seq, shard }).encode(),
+        ];
+        for frame in &frames {
+            prop_assert!(Message::decode(frame).is_ok(), "pristine frame must decode");
+            for k in 0..frame.len() {
+                let mut bad = frame.clone();
+                bad[k] ^= flip;
+                // The Err type IS CodecError — the compiler enforces the
+                // "typed error" half; a flip must never decode Ok.
+                prop_assert!(
+                    Message::decode(&bad).is_err(),
+                    "flip {flip:#04x} at byte {k} silently accepted"
+                );
+            }
+            // The sealed (socket) form: any flip — tag or body — must be
+            // the typed auth failure, since the tag binds the whole frame.
+            let key = AuthKey::from_seed(seq);
+            let sealed = key.seal(frame);
+            for k in 0..sealed.len() {
+                let mut bad = sealed.clone();
+                bad[k] ^= flip;
+                prop_assert!(
+                    matches!(key.open(&bad), Err(CoordError::AuthFailure(_))),
+                    "sealed flip at byte {k} went undetected"
+                );
+            }
+        }
+
+        // The on-disk NetTrace frame kind gets the same exhaustive pass.
+        let mut trace = NetTrace::new(4);
+        for s in 0..2 {
+            let t = s as f64 * 60.0;
+            trace.record(t, PerfMatrix::from_fn(4, |i, j| {
+                cloudconst_netmodel::LinkPerf {
+                    alpha: 1e-4 * (1 + i + j) as f64,
+                    beta: 1e-9 * (1 + i * j) as f64,
+                }
+            }));
+        }
+        let good = encode_net_trace(&trace);
+        for k in 0..good.len() {
+            let mut bad = good.clone();
+            bad[k] ^= flip;
+            prop_assert!(
+                decode_net_trace(&bad).is_err(),
+                "net-trace flip at byte {k} silently accepted"
+            );
+        }
     }
 }
 

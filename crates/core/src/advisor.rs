@@ -947,6 +947,121 @@ mod tests {
         assert_eq!(s.worst_masked_fraction, 0.0);
     }
 
+    /// A synthetic healthy-shape report with a chosen success rate, for
+    /// driving the history ring without running campaigns.
+    fn rate_report(rate: f64) -> HealthReport {
+        HealthReport {
+            probe_success_rate: rate,
+            attempts: 10,
+            retries: 0,
+            timeouts: 0,
+            losses: 0,
+            masked_fraction: 0.0,
+            model_age: 0.0,
+            degraded: false,
+            quarantined: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn history_evicts_exactly_at_capacity_and_clamps_zero() {
+        // `new(0)` clamps to 1: the ring always retains the latest report.
+        let mut h = CampaignHistory::new(0);
+        assert_eq!(h.capacity(), 1);
+        h.push(rate_report(1.0));
+        h.push(rate_report(0.5));
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.latest().unwrap().probe_success_rate, 0.5);
+
+        // Filling to exactly `capacity` evicts nothing; the next push
+        // evicts exactly the oldest.
+        let mut h = CampaignHistory::new(3);
+        for k in 0..3 {
+            h.push(rate_report(k as f64 * 0.1));
+        }
+        assert_eq!(h.len(), 3, "at capacity, nothing evicted yet");
+        assert_eq!(h.reports()[0].probe_success_rate, 0.0);
+        h.push(rate_report(0.9));
+        assert_eq!(h.len(), 3, "one in, one out");
+        assert_eq!(
+            h.reports()[0].probe_success_rate,
+            0.1,
+            "the oldest report must be the one evicted"
+        );
+        assert_eq!(h.latest().unwrap().probe_success_rate, 0.9);
+    }
+
+    #[test]
+    fn success_trend_needs_four_reports() {
+        let mut h = CampaignHistory::new(8);
+        assert_eq!(h.success_trend(), None, "empty ring has no trend");
+        h.push(rate_report(1.0));
+        assert_eq!(h.success_trend(), None, "a single campaign is not a trend");
+        h.push(rate_report(0.9));
+        h.push(rate_report(0.8));
+        assert_eq!(h.success_trend(), None, "three leaves a one-report half");
+        h.push(rate_report(0.7));
+        let (older, recent) = h.success_trend().unwrap();
+        assert_eq!(older, (1.0 + 0.9) / 2.0);
+        assert_eq!(recent, (0.8 + 0.7) / 2.0);
+
+        // Odd lengths: `mid = len / 2` puts the extra report in the
+        // recent half, so the older half stays the stable baseline.
+        h.push(rate_report(0.6));
+        let (older, recent) = h.success_trend().unwrap();
+        assert_eq!(older, (1.0 + 0.9) / 2.0);
+        assert_eq!(recent, (0.8 + 0.7 + 0.6) / 3.0);
+    }
+
+    #[test]
+    fn effective_degraded_flips_strictly_past_the_trend_drop() {
+        // 0.25 and the chosen rates are exactly representable, so the
+        // boundary comparison is exact, not a float accident.
+        let mut advisor = Advisor::new(AdvisorConfig {
+            adaptive_degraded: true,
+            degraded_trend_drop: 0.25,
+            ..quick_cfg()
+        });
+
+        // Drop exactly equal to the threshold: strictly-greater means the
+        // configured policy stays in force.
+        for r in [1.0, 1.0, 0.75, 0.75] {
+            advisor.history.push(rate_report(r));
+        }
+        let (older, recent) = advisor.campaign_history().success_trend().unwrap();
+        assert_eq!(older - recent, 0.25, "fixture must sit exactly on the boundary");
+        assert_eq!(advisor.effective_degraded(), DegradedPolicy::Fail);
+
+        // One representable notch past the threshold: the override engages.
+        advisor.history = CampaignHistory::new(8);
+        for r in [1.0, 1.0, 0.5, 0.5] {
+            advisor.history.push(rate_report(r));
+        }
+        assert_eq!(
+            advisor.effective_degraded(),
+            DegradedPolicy::FallBackToPrevious
+        );
+
+        // Healing reverts it: four healthy campaigns flip the halves.
+        for _ in 0..4 {
+            advisor.history.push(rate_report(1.0));
+        }
+        let (older, recent) = advisor.campaign_history().success_trend().unwrap();
+        assert!(older < recent, "healed trend must rise");
+        assert_eq!(advisor.effective_degraded(), DegradedPolicy::Fail);
+
+        // Without the adaptive flag the trend is ignored entirely.
+        let mut plain = Advisor::new(AdvisorConfig {
+            adaptive_degraded: false,
+            degraded_trend_drop: 0.25,
+            ..quick_cfg()
+        });
+        for r in [1.0, 1.0, 0.5, 0.5] {
+            plain.history.push(rate_report(r));
+        }
+        assert_eq!(plain.effective_degraded(), DegradedPolicy::Fail);
+    }
+
     #[test]
     fn campaign_history_flags_degraded_and_lossy_campaigns() {
         let cloud = SyntheticCloud::new(CloudConfig::small_test(10, 21));

@@ -7,8 +7,8 @@
 
 use cloudconst::cloud::{CloudConfig, FaultPlan, FaultyCloud, FlakyLink, SyntheticCloud};
 use cloudconst::coord::{
-    decode_net_trace, encode_net_trace, CodecError, Coordinator, CoordinatorConfig,
-    LoopbackTransport, SimConfig, SimTransport,
+    decode_net_trace, encode_net_trace, AuthKey, CodecError, Coordinator, CoordinatorConfig,
+    LoopbackTransport, SimConfig, SimTransport, TcpConfig, TcpTransport, TcpWorkerServer,
 };
 use cloudconst::core::{Advisor, AdvisorConfig};
 use cloudconst::netmodel::{
@@ -189,6 +189,63 @@ fn advisor_adopts_sharded_run() {
     let sharded = Coordinator::new(config)
         .calibrate_tp(&mut transport, 0.0, quick.snapshot_interval, quick.time_step)
         .expect("loss-free campaign cannot abort");
+    external.adopt_faulty_run(sharded.run, 0.0).unwrap();
+
+    let (mi, me) = (internal.model().unwrap(), external.model().unwrap());
+    for i in 0..n {
+        for j in 0..n {
+            let a = mi.estimate.perf.link(i, j);
+            let b = me.estimate.perf.link(i, j);
+            assert_eq!(a.alpha.to_bits(), b.alpha.to_bits(), "alpha ({i},{j})");
+            assert_eq!(a.beta.to_bits(), b.beta.to_bits(), "beta ({i},{j})");
+        }
+    }
+    let (hi, he) = (internal.health(10.0).unwrap(), external.health(10.0).unwrap());
+    assert_eq!(hi.probe_success_rate, he.probe_success_rate);
+    assert_eq!(hi.attempts, he.attempts);
+    assert_eq!(hi.masked_fraction, he.masked_fraction);
+    assert_eq!(hi.quarantined, he.quarantined);
+    assert_eq!(external.campaign_history().len(), 1);
+}
+
+/// The full distributed stack end to end: workers behind a real TCP
+/// listener, sealed frames over localhost, and the merged run adopted by
+/// the Advisor — model, health and campaign history all bit-identical to
+/// an internal calibration of the same cloud.
+#[test]
+fn advisor_adopts_tcp_campaign_end_to_end() {
+    let n = 10;
+    let k = 4;
+    let cloud = FaultyCloud::new(
+        SyntheticCloud::new(CloudConfig::small_test(n, 13)),
+        FaultPlan::uniform(19, 0.05),
+    );
+    let quick = AdvisorConfig {
+        time_step: 5,
+        snapshot_interval: 30.0,
+        ..AdvisorConfig::default()
+    };
+
+    let mut internal = Advisor::new(quick.clone());
+    internal.calibrate_faulty_par(&cloud, 0.0).unwrap();
+
+    let key = AuthKey::from_seed(2024);
+    let server = TcpWorkerServer::spawn(cloud.clone(), k, key).expect("bind localhost");
+    let mut transport =
+        TcpTransport::connect(&server.shard_addrs(k), TcpConfig::new(key)).expect("connect");
+
+    let mut config = CoordinatorConfig::new(k);
+    config.calibration = quick.calibration.clone();
+    config.retry = quick.retry.clone();
+    config.impute = quick.impute;
+    let sharded = Coordinator::new(config)
+        .calibrate_tp(&mut transport, 0.0, quick.snapshot_interval, quick.time_step)
+        .expect("localhost campaign must complete");
+    assert_eq!(sharded.report.shards_alive as usize, k);
+    assert_eq!(sharded.report.failovers, 0);
+    assert!(sharded.report.wire.frames_delivered > 0);
+
+    let mut external = Advisor::new(quick);
     external.adopt_faulty_run(sharded.run, 0.0).unwrap();
 
     let (mi, me) = (internal.model().unwrap(), external.model().unwrap());
